@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (a table or figure; see
+the index in DESIGN.md), prints the same rows/series the paper reports,
+and archives the text under ``benchmarks/results/``.  The
+pytest-benchmark fixture times the regeneration itself, so
+``pytest benchmarks/ --benchmark-only`` both reproduces the numbers and
+tracks the simulator's own performance.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Callable: archive + emit one experiment report."""
+
+    def _report(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # echo into the test output (visible with -s / on failure)
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}\n[saved to {path}]")
+
+    return _report

@@ -1,0 +1,29 @@
+"""§3.4 — anecdotal systems: Intel E7505 and the quad Itanium-II.
+
+Paper: the dual 2.66 GHz / 533 MHz-FSB E7505 systems reach 4.64 Gb/s
+essentially out of the box (timestamps disabled); aggregated flows into
+a 1 GHz quad Itanium-II reach 7.2 Gb/s.  Both beat the tuned PE2650 —
+the FSB ("the CPU's ability to move, but not process, data") being the
+differentiator the conclusion highlights.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_anecdotal_systems(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("anecdotal", quick=True),
+        rounds=1, iterations=1)
+    report("anecdotal", out.text)
+    s = out.data["summary"]
+    e7505 = s["e7505_peak_gbps (paper 4.64)"]
+    itanium = s["itanium2_aggregate_gbps (paper 7.2)"]
+
+    # E7505 out-of-box in the tuned-PE2650 class or above (paper 4.64;
+    # our FSB model reaches ~4.1-4.3 — see EXPERIMENTS.md)
+    assert e7505 > 3.8
+    # the Itanium-II aggregate clearly exceeds any single-CPU host
+    assert itanium > e7505
+    assert itanium > 5.5

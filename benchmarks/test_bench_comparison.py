@@ -1,0 +1,36 @@
+"""§3.5.4 — 10GbE versus GbE, Myrinet and QsNet.
+
+Paper (with its 4.11 Gb/s / 19 µs numbers): throughput over 300% better
+than GbE, over 120% better than Myrinet, over 80% better than QsNet;
+latency ~40% better than GbE and ~half of the peers' TCP/IP layers, but
+slower than the native GM/Elan3 APIs.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_interconnect_comparison(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("comparison", quick=True),
+        rounds=1, iterations=1)
+    report("comparison", out.text)
+    comp = out.data["comparison"]
+
+    # throughput: 10GbE/TCP beats every peer, native APIs included
+    for key in ("GbE/TCP", "Myrinet/GM", "Myrinet/IP",
+                "QsNet/Elan3", "QsNet/IP"):
+        assert comp.throughput_advantage(key) > 0, key
+    # ordering of the margins matches the paper
+    assert comp.throughput_advantage("GbE/TCP") > \
+        comp.throughput_advantage("Myrinet/IP") > \
+        comp.throughput_advantage("QsNet/IP")
+    assert comp.throughput_advantage("GbE/TCP") > 2.5
+
+    # latency: faster than every TCP/IP layer, slower than native APIs
+    assert comp.latency_ratio("GbE/TCP") < 1.0
+    assert comp.latency_ratio("Myrinet/IP") < 0.75
+    assert comp.latency_ratio("QsNet/IP") < 0.75
+    assert comp.latency_ratio("Myrinet/GM") > 1.5
+    assert comp.latency_ratio("QsNet/Elan3") > 2.0

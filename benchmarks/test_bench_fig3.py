@@ -1,0 +1,33 @@
+"""Figure 3 — Throughput of Stock TCP: 1500- vs 9000-byte MTU.
+
+Regenerates the stock-configuration NTTCP payload sweep, including the
+CPU-load contrast (§3.3: ~0.9 vs ~0.4) and the marked dip between 7436
+and 8948 bytes.  Paper peaks: 1.8 Gb/s (1500) and 2.7 Gb/s (9000).
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig3_stock_tcp(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("fig3", quick=True),
+        rounds=1, iterations=1)
+    report("fig3", out.text)
+    curves = out.data["curves"]
+    summary = out.data["summary"]
+
+    # who wins: jumbo frames beat the standard MTU at peak
+    assert curves[9000].peak_gbps > curves[1500].peak_gbps
+    # by roughly what factor: paper sees 1.8 -> 2.7 (x1.5); we require
+    # a clear (>10%) jumbo advantage
+    assert curves[9000].peak_gbps / curves[1500].peak_gbps > 1.1
+    # absolute peaks in the paper's neighbourhood
+    assert curves[1500].peak_gbps == pytest.approx(1.8, rel=0.15)
+    assert 1.9 < curves[9000].peak_gbps < 3.1
+    # the marked dip exists in [7436, 8948]
+    assert summary["dip_9000 in [7436,8948] (paper: marked dip)"] > 0.05
+    # CPU load contrast: 1500 saturates, 9000 does not
+    assert summary["load_1500 (paper ~0.9)"] > \
+        summary["load_9000 (paper ~0.4)"]

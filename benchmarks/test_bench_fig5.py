@@ -1,0 +1,32 @@
+"""Figure 5 — Non-standard MTUs with cumulative optimizations.
+
+Paper: peak 4.11 Gb/s at MTU 8160 (a frame fits one 8 KB allocator
+block); 4.09 Gb/s peak at MTU 16000 but with clearly higher average.
+The figure also marks the theoretical maxima of GbE (1), Myrinet (2)
+and Quadrics (3.2) — all beaten.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig5_nonstandard_mtus(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("fig5", quick=True),
+        rounds=1, iterations=1)
+    report("fig5", out.text)
+    curves = out.data["curves"]
+
+    peak_8160 = curves[8160].peak_gbps
+    peak_16000 = curves[16000].peak_gbps
+    # the headline: > 4 Gb/s end-to-end with commodity Ethernet
+    assert peak_8160 == pytest.approx(4.11, rel=0.08)
+    # "virtually identical" peaks
+    assert peak_16000 == pytest.approx(peak_8160, rel=0.12)
+    # 16000 wins on average across the sweep (paper: "clearly much
+    # higher"); allow equality margin at quick resolution
+    assert curves[16000].average_gbps > curves[8160].average_gbps * 0.95
+    # beats every competing interconnect's theoretical maximum
+    for theoretical in (1.0, 2.0, 3.2):
+        assert peak_8160 > theoretical

@@ -1,0 +1,37 @@
+"""Figures 6 and 7 — End-to-end latency vs payload size.
+
+Paper: 19 µs back-to-back / 25 µs through the FastIron 1500 with the
+5 µs interrupt-coalescing delay (Fig. 6); ~20% growth from 1 B to
+1024 B; turning coalescing off trivially shaves 5 µs, to 14 µs (Fig. 7).
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig6_latency_with_coalescing(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("fig6", quick=True),
+        rounds=1, iterations=1)
+    report("fig6", out.text)
+    b2b, sw = out.data["b2b"], out.data["switch"]
+
+    assert b2b.base_latency_us == pytest.approx(19.0, abs=1.5)
+    assert sw.base_latency_us == pytest.approx(25.0, abs=1.8)
+    # stepwise-linear growth over the payload range (~20% in the paper)
+    assert 0.1 < b2b.growth_fraction < 0.45
+    lat = b2b.latencies_us
+    assert all(a <= b + 0.2 for a, b in zip(lat, lat[1:]))
+
+
+def test_fig7_latency_without_coalescing(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("fig7", quick=True),
+        rounds=1, iterations=1)
+    report("fig7", out.text)
+    off, on = out.data["off"], out.data["on"]
+
+    assert off.base_latency_us == pytest.approx(14.0, abs=1.5)
+    saved = on.base_latency_us - off.base_latency_us
+    assert saved == pytest.approx(5.0, abs=1.0)

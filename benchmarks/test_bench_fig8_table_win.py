@@ -1,0 +1,28 @@
+"""Figure 8 and the §3.5.1 window-arithmetic worked example.
+
+Paper: a ~26 KB ideal window only admits two ~9 KB MSS-aligned segments
+(~31% loss); with the sender/receiver MSS mismatch (8960 vs 8948) and
+33000 bytes of socket memory, the advertised window is 26844 bytes (19%
+lost) and the sender can use only 17920 (nearly 50% below the memory).
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig8_mss_aligned_window(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("fig8", quick=True),
+        rounds=1, iterations=1)
+    report("fig8", out.text)
+    s = out.data["summary"]
+    mismatch = out.data["mismatch"]
+
+    assert s["mss_allowed_window (paper ~18KB)"] == 17920
+    assert s["efficiency (paper ~0.69)"] == pytest.approx(0.673, abs=0.01)
+    # the worked example, digit for digit
+    assert mismatch.advertised_window == 26844
+    assert mismatch.usable_window == 17920
+    assert mismatch.advertised_loss == pytest.approx(0.19, abs=0.01)
+    assert mismatch.usable_loss == pytest.approx(0.457, abs=0.01)

@@ -1,0 +1,30 @@
+"""MTU scan: the allocator sawtooth across the adapter's MTU range.
+
+Generalises the paper's 8160-vs-9000 observation (§3.3): throughput
+climbs with MTU but *drops at every power-of-two allocator boundary* —
+4050 beats 4500, 8160 beats 9000 — because frames that spill into the
+next block order pay the buddy allocator's contiguity penalty and waste
+window budget via truesize.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_mtu_scan_sawtooth(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("mtu_scan", quick=True),
+        rounds=1, iterations=1)
+    report("mtu_scan", out.text)
+    rows = {r["mtu"]: r for r in out.data["rows"]}
+
+    # the paper's flagship pair
+    assert rows[8160]["goodput_gbps"] > rows[9000]["goodput_gbps"]
+    # the same effect one boundary earlier (4 KB block edge)
+    assert rows[4050]["goodput_gbps"] > rows[4500]["goodput_gbps"]
+    # and the broad trend still rises with MTU
+    assert rows[16000]["goodput_gbps"] > rows[1500]["goodput_gbps"] * 1.5
+    # block bookkeeping is what the table says it is
+    assert rows[8160]["frame_block"] == 8192
+    assert rows[9000]["frame_block"] == 16384

@@ -1,0 +1,32 @@
+"""§3.5.2 — multi-flow probes: RX/TX symmetry and the dual-adapter test.
+
+Paper: aggregating GbE flows into (or out of) one 10GbE adapter shows
+the transmit and receive paths "of statistically equal performance";
+splitting flows across two adapters on independent buses is
+"statistically identical" to one adapter — ruling out the PCI-X bus and
+the adapter as bottlenecks.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_multiflow_symmetry_and_dual_adapter(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("multiflow", quick=True),
+        rounds=1, iterations=1)
+    report("multiflow", out.text)
+    rx, tx, dual = out.data["rx"], out.data["tx"], out.data["dual"]
+
+    # statistically equal paths (paper); we allow 15% at quick scale
+    asym = abs(rx.aggregate_bps - tx.aggregate_bps) / max(
+        rx.aggregate_bps, tx.aggregate_bps)
+    assert asym < 0.15
+
+    # dual adapters buy nothing: the host, not the bus, is the limit
+    assert dual.aggregate_bps < rx.aggregate_bps * 1.15
+
+    # sanity: aggregation actually aggregates (multiple flows active)
+    assert rx.n_flows >= 4
+    assert all(f > 0 for f in rx.per_flow_bps)

@@ -1,0 +1,35 @@
+"""Cross-validation and stack-profile benchmarks.
+
+Not paper tables: ``validation`` checks that the analytic shortcuts
+track the packet-level DES (the property the fast figures rely on);
+``stackprofile`` regenerates the §5 "where does the time go" picture.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_validation_analytic_vs_des(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("validation", quick=True),
+        rounds=1, iterations=1)
+    report("validation", out.text)
+    rep = out.data["report"]
+    assert rep.rank_agreement()
+    assert rep.mean_error() < 0.20
+
+
+def test_stackprofile_cost_accounting(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("stackprofile", quick=True),
+        rounds=1, iterations=1)
+    report("stackprofile", out.text)
+    detail = out.data["detail"]
+    # §3.5.2's conclusion, quantified: data movement is the largest
+    # single stage of the tuned flow
+    biggest = max(detail.stages, key=lambda s: s.seconds)
+    assert biggest.stage == "data movement (FSB + copy)"
+    # and the implied bottleneck rate matches the measured ~4.1 Gb/s
+    assert detail.predicted_goodput_bps() / 1e9 == pytest.approx(4.1,
+                                                                 rel=0.08)

@@ -1,0 +1,42 @@
+"""§4 — the WAN record: 2.38 Gb/s Sunnyvale -> Geneva.
+
+Paper: a single TCP stream over the OC-192 + OC-48 path (RTT 180 ms),
+socket buffers sized to the bandwidth-delay product, sustains 2.38 Gb/s
+(~99% payload efficiency of the OC-48 bottleneck), moves a terabyte in
+under an hour, and multiplies the previous Internet2 Land Speed Record
+by ~2.5x (23,888,060,000,000,000 m·b/s).
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_wan_land_speed_record(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: run_experiment("wan", quick=True),
+        rounds=1, iterations=1)
+    report("wan", out.text)
+    s = out.data["summary"]
+    sweep = out.data["sweep"]
+
+    assert s["tuned_gbps (paper 2.38)"] == pytest.approx(2.38, abs=0.02)
+    assert s["payload_efficiency (paper ~0.99)"] > 0.98
+    assert s["terabyte_minutes (paper <60)"] < 60.0
+    assert s["lsr_metric (paper 2.3888e16)"] == pytest.approx(2.3888e16,
+                                                              rel=0.01)
+    assert s["x_previous_record (paper 2.5)"] > 2.0
+    # packet-level cross-check at scaled distance reaches the bottleneck
+    assert s["des_crosscheck_gbps"] == pytest.approx(2.38, rel=0.08)
+    # 8 parallel streams also fill the pipe (the LSR's other category)
+    assert s["multistream_8_gbps (LSR multi-stream category)"] == \
+        pytest.approx(2.38, rel=0.05)
+
+    # the buffer sweep tells the tuning story: BDP-sized wins,
+    # undersized starves, oversized suffers congestion losses
+    by_label = {o.label: o for o in sweep}
+    tuned = by_label["1x BDP buffer"]
+    assert tuned.throughput_gbps == max(o.throughput_gbps for o in sweep)
+    assert by_label["0.25x BDP buffer"].throughput_gbps < \
+        tuned.throughput_gbps * 0.5
+    assert by_label["3x BDP buffer"].losses >= 1

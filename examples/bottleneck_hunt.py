@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The §3.5.2 bottleneck hunt: where do the other 4 Gb/s go?
+
+The PE2650's PCI-X bus moves 8.5 Gb/s, yet tuned TCP peaks at ~4.1.
+The paper eliminates suspects one by one; this example re-runs every
+probe and prints the verdicts, then uses MAGNET to profile where a
+packet's time actually goes.
+
+Run:  python examples/bottleneck_hunt.py
+"""
+
+from repro.analysis.tables import format_kv, format_table
+from repro.config import TuningConfig
+from repro.core.bottleneck import BottleneckStudy
+from repro.net.topology import BackToBack
+from repro.sim import Environment
+from repro.tcp.connection import TcpConnection
+from repro.tools.magnet import Magnet
+from repro.tools.nttcp import nttcp_run
+
+
+def main() -> None:
+    study = BottleneckStudy(n_clients=6, duration_s=0.02)
+
+    print("probe 1: receive path vs transmit path (multi-flow "
+          "aggregation through the switch)")
+    rx = study.receive_path()
+    tx = study.transmit_path()
+    print(f"  aggregate into the adapter : {rx.aggregate_gbps:.2f} Gb/s")
+    print(f"  aggregate out of the adapter: {tx.aggregate_gbps:.2f} Gb/s")
+    asym = abs(rx.aggregate_bps - tx.aggregate_bps) / rx.aggregate_bps
+    print(f"  verdict: statistically equal ({asym * 100:.0f}% apart) — "
+          "the receive path is NOT the bottleneck\n")
+
+    print("probe 2: two adapters on independent PCI-X buses")
+    dual = study.dual_adapters()
+    print(f"  dual-adapter aggregate: {dual.aggregate_gbps:.2f} Gb/s "
+          f"(single: {rx.aggregate_gbps:.2f})")
+    print("  verdict: no gain — the PCI-X bus and the adapter are "
+          "ruled out\n")
+
+    print("probe 3: memory bandwidth (STREAM)")
+    rows = [{"host": name, "STREAM copy (Gb/s)": round(r.copy_gbps, 1)}
+            for name, r in study.stream_comparison().items()]
+    print(format_table(rows))
+    print("  verdict: the PE4600 has ~50% more memory bandwidth and no "
+          "more network\n  throughput — memory bandwidth is ruled out\n")
+
+    print("probe 4: the kernel packet generator (single copy, no stack)")
+    pktgen = study.pktgen_ceiling(packets=2048)
+    single = study.single_flow()
+    print(format_kv({
+        "pktgen rate (Gb/s)": pktgen.rate_gbps,
+        "pktgen packets/s": pktgen.packets_per_sec,
+        "tuned TCP single flow (Gb/s)": single / 1e9,
+        "TCP / pktgen": single / pktgen.rate_bps,
+    }))
+    print("  verdict: TCP delivers ~75% of the single-copy ceiling; the "
+          "8.5 - 5.5 = 3 Gb/s gap\n  is the host software's data "
+          "movement — the paper's conclusion\n")
+
+    print("MAGNET: per-packet path profile of one tuned flow")
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.fully_tuned(8160))
+    conn = TcpConnection(env, bb.a, bb.b)
+    magnet = Magnet(bb.a, bb.b)
+    magnet.start()
+    nttcp_run(env, conn, payload=8108, count=512)
+    magnet.stop()
+    prof = magnet.profile("tcp.tx.segment", "tcp.rx.deliver")
+    print(format_kv({
+        "packets profiled": prof.samples,
+        "mean tx->deliver (us)": prof.mean_us,
+        "p50 (us)": prof.p50_s * 1e6,
+        "p99 (us)": prof.p99_s * 1e6,
+    }))
+    hist = magnet.path_histogram()
+    print("\ninstrumentation points hit:")
+    for point in sorted(hist):
+        print(f"  {point:24s} {hist[point]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""§3.5.4: put the 10GbE numbers in perspective vs GbE/Myrinet/QsNet.
+
+Measures our simulated 10GbE (throughput via a tuned NTTCP run, latency
+via NetPipe), then recomputes the paper's comparison percentages against
+the published numbers for Gigabit Ethernet, Myrinet (GM and IP) and
+QsNet (Elan3 and IP).  Also prints the §5 projections (OS-bypass, CSA)
+to show where the paper believed the technology was headed.
+
+Run:  python examples/interconnect_comparison.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.config import TuningConfig
+from repro.core.comparison import InterconnectComparison
+from repro.net.topology import BackToBack
+from repro.sim import Environment
+from repro.tcp.connection import TcpConnection
+from repro.tools.netpipe import netpipe_latency
+from repro.tools.nttcp import nttcp_run
+
+
+def measure_throughput(cfg, payload, count=1024):
+    env = Environment()
+    bb = BackToBack.create(env, cfg)
+    conn = TcpConnection(env, bb.a, bb.b)
+    return nttcp_run(env, conn, payload, count).goodput_bps
+
+
+def measure_latency(cfg):
+    env = Environment()
+    bb = BackToBack.create(env, cfg)
+    fwd = TcpConnection(env, bb.a, bb.b)
+    bwd = TcpConnection(env, bb.b, bb.a)
+    return netpipe_latency(env, fwd, bwd, payload=1, iterations=6).latency_s
+
+
+def main() -> None:
+    print("measuring our 10GbE/TCP (tuned PE2650 pair)...")
+    throughput = measure_throughput(TuningConfig.fully_tuned(8160), 8108)
+    latency = measure_latency(TuningConfig(
+        mtu=1500, mmrbc=4096, smp_kernel=False))
+    print(f"  {throughput / 1e9:.2f} Gb/s, {latency * 1e6:.1f} us "
+          "(paper: 4.11 Gb/s, 19 us)\n")
+
+    comp = InterconnectComparison(throughput, latency)
+    print(format_table(comp.rows(), title="§3.5.4 comparison "
+                       "(advantage = ours/theirs - 1; latency ratio = "
+                       "ours/theirs, <1 means we are faster)"))
+
+    print("\nreading the table like the paper does:")
+    print(f"  vs GbE      : {comp.throughput_advantage('GbE/TCP') * 100:.0f}%"
+          " better throughput (paper: 'over 300%')")
+    print(f"  vs Myrinet  : "
+          f"{comp.throughput_advantage('Myrinet/IP') * 100:.0f}% better "
+          "than its TCP layer (paper: 'over 120%')")
+    print(f"  vs QsNet    : "
+          f"{comp.throughput_advantage('QsNet/IP') * 100:.0f}% better "
+          "than its TCP layer (paper: 'over 80%')")
+    print(f"  latency     : {comp.latency_ratio('Myrinet/GM'):.1f}x "
+          "slower than Myrinet/GM, "
+          f"{comp.latency_ratio('QsNet/Elan3'):.1f}x slower than "
+          "QsNet/Elan3 — the 'Achilles heel'")
+
+    # §5 projections
+    print("\n§5 projections (what OS-bypass would do):")
+    ob_cfg = TuningConfig.os_bypass_projection(9000)
+    ob_thr = measure_throughput(ob_cfg, 8948, count=1536)
+    ob_lat = measure_latency(TuningConfig.os_bypass_projection(1500))
+    csa_thr = measure_throughput(ob_cfg.replace(csa=True), 8948,
+                                 count=1536)
+    print(f"  OS-bypass over PCI-X : {ob_thr / 1e9:.2f} Gb/s, "
+          f"{ob_lat * 1e6:.1f} us (paper: 'approaching 8 Gb/s, below "
+          "10 us')")
+    print(f"  ... + CSA (no I/O bus): {csa_thr / 1e9:.2f} Gb/s — "
+          "wire-limited")
+
+
+if __name__ == "__main__":
+    main()

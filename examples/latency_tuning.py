@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Latency study (Figs. 6-7): interrupt coalescing and the switch hop.
+
+Measures NetPipe-style ping-pong latency versus payload size in four
+configurations: {back-to-back, through the FastIron 1500} x
+{5 µs coalescing, coalescing off}.  Paper numbers: 19 / 25 µs base with
+coalescing, 14 µs back-to-back without — "we trivially shave off an
+additional 5 µs by simply turning off interrupt coalescing."
+
+Run:  python examples/latency_tuning.py
+"""
+
+from repro.analysis.figures import Figure, Series
+from repro.core.latencyreport import DEFAULT_LATENCY_PAYLOADS, LatencyStudy
+
+
+def main() -> None:
+    study = LatencyStudy(iterations=6)
+    payloads = DEFAULT_LATENCY_PAYLOADS[::2]
+
+    print("measuring ping-pong latencies (four configurations)...\n")
+    curves = [
+        study.measure(5.0, False, payloads),
+        study.measure(5.0, True, payloads),
+        study.measure(0.0, False, payloads),
+        study.measure(0.0, True, payloads),
+    ]
+
+    fig = Figure(title="Figures 6-7 (reproduced): end-to-end latency",
+                 xlabel="payload (bytes)", ylabel="latency (us)")
+    for curve in curves:
+        fig.add(Series(curve.label, curve.payloads, curve.latencies_us))
+    print(fig.render())
+
+    print("\nbase (1-byte) latencies:")
+    paper = {("back-to-back", 5.0): 19.0, ("switch", 5.0): 25.0,
+             ("back-to-back", 0.0): 14.0, ("switch", 0.0): 20.0}
+    for curve in curves:
+        where = "switch" if curve.through_switch else "back-to-back"
+        ref = paper.get((where, curve.coalescing_us))
+        ref_s = f"(paper: {ref:.0f})" if ref else ""
+        print(f"  {curve.label:34s} {curve.base_latency_us:5.1f} us {ref_s}")
+
+    b2b_on = curves[0]
+    b2b_off = curves[2]
+    print(f"\ncoalescing cost: "
+          f"{b2b_on.base_latency_us - b2b_off.base_latency_us:.1f} us "
+          "(paper: 5 us — the configured interrupt delay)")
+    print(f"switch hop cost: "
+          f"{curves[1].base_latency_us - b2b_on.base_latency_us:.1f} us "
+          "(paper: ~6 us store-and-forward penalty)")
+    print(f"growth 1B -> {payloads[-1]}B back-to-back: "
+          f"{b2b_on.growth_fraction * 100:.0f}% (paper: ~20%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Writing an application against the simulated stack: the sockets idiom.
+
+The paper's pitch for 10GbE against Myrinet/QsNet is that applications
+keep their sockets code.  This example honours that: a tiny
+client/server "file transfer" written with send/recv against the
+simulated network, run under three tuning states to show what the
+application experiences without changing a line of application code.
+
+Run:  python examples/socket_application.py
+"""
+
+from repro import BackToBack, Environment, TuningConfig, connect
+from repro.units import MB
+
+
+FILE_BYTES = 64 * MB(1)
+
+
+def transfer(config: TuningConfig, label: str) -> None:
+    env = Environment()
+    testbed = BackToBack.create(env, config)
+    tx, rx = connect(env, testbed.a, testbed.b)
+    stats = {}
+
+    def client():
+        # the whole application: push the file through the socket
+        yield from tx.sendall(FILE_BYTES, chunk=256 * 1024)
+
+    def server():
+        t0 = env.now
+        yield from rx.recv_exactly(FILE_BYTES)
+        stats["elapsed"] = env.now - t0
+
+    env.process(client(), name="client")
+    done = env.process(server(), name="server")
+    env.run(until=done)
+    rate = FILE_BYTES * 8 / stats["elapsed"] / 1e9
+    print(f"  {label:34s} {FILE_BYTES // MB(1):>4d} MB in "
+          f"{stats['elapsed'] * 1e3:7.1f} ms  ->  {rate:5.2f} Gb/s")
+
+
+def main() -> None:
+    print("same application, three host tuning states "
+          "(no application changes):\n")
+    transfer(TuningConfig.stock(1500), "stock, 1500-byte MTU")
+    transfer(TuningConfig.fully_tuned(8160), "fully tuned (the paper's 4.11)")
+    transfer(TuningConfig.os_bypass_projection(9000).replace(csa=True),
+             "§5 projection (OS-bypass + CSA)")
+    print("\nThe application above is plain sockets code — the paper's "
+          "argument for\ncommodity 10GbE over interconnects that require "
+          "rewriting to GM/Elan3 APIs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro --list
+    python -m repro fig3 tab1 wan
+    python -m repro all --full --out results/
+
+Each named experiment prints the same rows/series the paper reports
+(see the index in DESIGN.md) and optionally archives the text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List
+
+from repro.analysis.experiments import experiment_ids, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the SC 2003 10GbE paper "
+                    "from the simulator.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (or 'all'); see --list")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids and exit")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale averaging (slower)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to archive reports into")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in experiment_ids():
+            print(name)
+        return 0
+    names = args.experiments
+    if not names:
+        build_parser().print_help()
+        return 2
+    if names == ["all"]:
+        names = experiment_ids()
+    unknown = [n for n in names if n not in experiment_ids()]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"known: {', '.join(experiment_ids())}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.time()
+        output = run_experiment(name, quick=not args.full)
+        elapsed = time.time() - start
+        banner = f"=== {name} ({elapsed:.1f}s) "
+        print(banner + "=" * max(0, 72 - len(banner)))
+        print(output.text)
+        print()
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(output.text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""Exports: CSV/JSON emitters for figures, curves and tables.
+
+The ASCII renderings are for terminals; downstream users who want to
+plot the reproduced figures against the paper's scans need the raw
+series.  These helpers write dependency-free CSV/JSON from the same
+objects the experiments return.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.analysis.figures import Figure, Series
+from repro.errors import MeasurementError
+
+__all__ = ["figure_to_csv", "rows_to_csv", "rows_to_json",
+           "sweep_to_rows", "write_text"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def figure_to_csv(figure: Figure, path: Optional[PathLike] = None) -> str:
+    """Long-format CSV (series,x,y) for one figure; returns the text and
+    optionally writes it."""
+    if not figure.series:
+        raise MeasurementError(f"figure {figure.title!r} has no series")
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["series", figure.xlabel, figure.ylabel])
+    for series in figure.series:
+        for x, y in zip(series.x, series.y):
+            writer.writerow([series.label, x, y])
+    return write_text(buf.getvalue(), path)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Any]],
+                path: Optional[PathLike] = None,
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Dict-rows (the experiments' table format) to CSV."""
+    if not rows:
+        raise MeasurementError("no rows to export")
+    if columns is None:
+        columns = list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(columns),
+                            extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return write_text(buf.getvalue(), path)
+
+
+def rows_to_json(rows: Sequence[Mapping[str, Any]],
+                 path: Optional[PathLike] = None) -> str:
+    """Dict-rows to pretty JSON."""
+    if not rows:
+        raise MeasurementError("no rows to export")
+    text = json.dumps(list(rows), indent=2, default=str) + "\n"
+    return write_text(text, path)
+
+
+def sweep_to_rows(curve) -> list:
+    """An NTTCP :class:`~repro.core.casestudy.SweepCurve` as dict-rows."""
+    return [{
+        "config": curve.label,
+        "payload": point.payload,
+        "goodput_gbps": point.goodput_gbps,
+        "receiver_load": point.receiver_load,
+        "sender_load": point.sender_load,
+    } for point in curve.points]
+
+
+def write_text(text: str, path: Optional[PathLike]) -> str:
+    """Write ``text`` to ``path`` when given; always return the text."""
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables and
+figure captions report; these helpers keep that output aligned and
+dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: str = "") -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        table.append([_cell(row.get(c, "")) for c in columns])
+    widths = [max(len(r[i]) for r in table) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = table
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, Any], title: str = "") -> str:
+    """Render key/value pairs one per line, aligned."""
+    if not pairs:
+        return f"{title}\n(empty)" if title else "(empty)"
+    width = max(len(str(k)) for k in pairs)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)}  {_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Tuning advisor: the paper's methodology as a reusable artifact.
+
+The case study's lasting value is its *procedure*: identify the binding
+resource, apply the knob that relieves it, re-measure.  The advisor
+automates that loop analytically — given a platform and a workload
+intent, it walks the knobs in the paper's order, keeps each change that
+the cost model predicts will help, and emits the recommended
+:class:`~repro.config.TuningConfig` together with the reasoning chain
+and the paper's reference configuration for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import TuningConfig
+from repro.errors import ConfigError
+from repro.hw.presets import HostSpec, PE2650
+from repro.tcp.analytic import predict_throughput_bps
+from repro.tcp.mss import mss_for_mtu
+from repro.units import KB
+
+__all__ = ["TuningAdvisor", "Advice", "AdviceStep"]
+
+
+@dataclass(frozen=True)
+class AdviceStep:
+    """One accepted (or rejected) tuning move."""
+
+    knob: str
+    change: str
+    predicted_gbps: float
+    accepted: bool
+    rationale: str
+
+
+@dataclass
+class Advice:
+    """The advisor's output."""
+
+    workload: str
+    config: TuningConfig
+    predicted_gbps: float
+    steps: List[AdviceStep] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Human-readable reasoning chain."""
+        lines = [f"workload: {self.workload}",
+                 f"recommended: {self.config.describe()} "
+                 f"(predicted {self.predicted_gbps:.2f} Gb/s)"]
+        for s in self.steps:
+            mark = "+" if s.accepted else "-"
+            lines.append(f"  {mark} {s.knob}: {s.change} -> "
+                         f"{s.predicted_gbps:.2f} Gb/s ({s.rationale})")
+        return "\n".join(lines)
+
+
+class TuningAdvisor:
+    """Walk the paper's knob ladder analytically for a platform."""
+
+    #: candidate moves in the paper's order: (knob, change-description,
+    #: transform, rationale)
+    _LADDER = (
+        ("mmrbc", "512 -> 4096",
+         lambda c: c.replace(mmrbc=4096),
+         "larger DMA bursts lift effective PCI-X bandwidth (§3.3)"),
+        ("smp_kernel", "SMP -> UP",
+         lambda c: c.replace(smp_kernel=False),
+         "interrupts pin to one CPU anyway; drop the SMP tax (§3.3)"),
+        ("tcp_rmem/wmem", "64 KB -> 256 KB",
+         lambda c: c.replace(tcp_rmem=KB(256), tcp_wmem=KB(256)),
+         "mask MSS-alignment and truesize window losses (§3.5.1)"),
+        ("mtu", "-> 8160 (one 8 KB allocator block)",
+         lambda c: c.replace(mtu=8160),
+         "frame fits a single power-of-two block (§3.3)"),
+        ("mtu", "-> 16000 (adapter max)",
+         lambda c: c.replace(mtu=16000),
+         "amortise per-packet costs further (§3.3)"),
+        ("tcp_timestamps", "on -> off",
+         lambda c: c.replace(tcp_timestamps=False),
+         "per-packet stamping cost; safe inside a LAN (§3.4)"),
+    )
+
+    def __init__(self, spec: HostSpec = PE2650):
+        self.spec = spec
+
+    def advise(self, workload: str = "lan-throughput",
+               start: Optional[TuningConfig] = None) -> Advice:
+        """Recommend a configuration for ``workload``.
+
+        Workloads: ``"lan-throughput"`` (bulk, the §3 study),
+        ``"lan-latency"`` (small messages; coalescing off, standard
+        MTU), ``"wan-throughput"`` (the §4 recipe; buffers must then be
+        sized to the measured BDP by the caller).
+        """
+        if workload == "lan-latency":
+            config = TuningConfig(mtu=1500, mmrbc=4096, smp_kernel=False,
+                                  interrupt_coalescing_us=0.0)
+            advice = Advice(workload=workload, config=config,
+                            predicted_gbps=self._predict(config))
+            advice.steps.append(AdviceStep(
+                "interrupt_coalescing_us", "5 -> 0 us",
+                advice.predicted_gbps, True,
+                "trade CPU load for the 5 us delay (Fig. 7)"))
+            return advice
+        if workload == "wan-throughput":
+            config = TuningConfig.wan_tuned(buf=KB(32 * 1024))
+            advice = Advice(workload=workload, config=config,
+                            predicted_gbps=self._predict(config))
+            advice.steps.append(AdviceStep(
+                "tcp_rmem/wmem", "size to path BDP / 0.75",
+                advice.predicted_gbps, True,
+                "cap the congestion window at the BDP so the bottleneck "
+                "queue never overflows (§4)"))
+            advice.steps.append(AdviceStep(
+                "txqueuelen", "100 -> 10000", advice.predicted_gbps, True,
+                "a BDP-sized window must fit the local qdisc (§4)"))
+            return advice
+        if workload != "lan-throughput":
+            raise ConfigError(
+                f"unknown workload {workload!r}; expected lan-throughput,"
+                " lan-latency or wan-throughput")
+
+        config = start or TuningConfig.stock(9000)
+        best = self._predict(config)
+        advice = Advice(workload=workload, config=config,
+                        predicted_gbps=best)
+        for knob, change, transform, rationale in self._LADDER:
+            try:
+                candidate = transform(config)
+            except ConfigError:
+                continue
+            predicted = self._predict(candidate)
+            accepted = predicted > best * 1.005
+            advice.steps.append(AdviceStep(knob, change, predicted,
+                                           accepted, rationale))
+            if accepted:
+                config, best = candidate, predicted
+        advice.config = config
+        advice.predicted_gbps = best
+        return advice
+
+    def _predict(self, config: TuningConfig) -> float:
+        payload = mss_for_mtu(config.mtu, config.tcp_timestamps)
+        return predict_throughput_bps(self.spec, config, payload) / 1e9

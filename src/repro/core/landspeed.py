@@ -1,0 +1,53 @@
+"""The Internet2 Land Speed Record metric.
+
+The LSR ranks entries by the product of end-to-end throughput and
+distance, in meters-bits/second.  The paper's record: 2.38 Gb/s over
+10,037 km = 23,888,060,000,000,000 m·b/s, 2.5x the previous record
+(single-stream 923 Mb/s over 10,978 km, November 2002).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+
+__all__ = ["land_speed_record_metric", "LsrEntry", "LSR_2003", "LSR_2002"]
+
+
+def land_speed_record_metric(throughput_bps: float, distance_km: float) -> float:
+    """Meters-bits per second: throughput x distance."""
+    if throughput_bps <= 0 or distance_km <= 0:
+        raise MeasurementError("throughput and distance must be positive")
+    return throughput_bps * distance_km * 1000.0
+
+
+@dataclass(frozen=True)
+class LsrEntry:
+    """One record entry."""
+
+    date: str
+    throughput_bps: float
+    distance_km: float
+    description: str
+
+    @property
+    def metric(self) -> float:
+        """m·b/s score."""
+        return land_speed_record_metric(self.throughput_bps, self.distance_km)
+
+
+#: The record this paper set (February 27, 2003).
+LSR_2003 = LsrEntry(
+    date="2003-02-27",
+    throughput_bps=2.38e9,
+    distance_km=10037.0,
+    description="Sunnyvale - Geneva, single TCP/IP stream over "
+                "OC-192 + OC-48, 10GbE adapters")
+
+#: The record it broke (November 19, 2002).
+LSR_2002 = LsrEntry(
+    date="2002-11-19",
+    throughput_bps=923e6,
+    distance_km=10978.0,
+    description="Previous single-stream record")

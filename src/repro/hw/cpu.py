@@ -1,0 +1,64 @@
+"""CPU complex: the serialized network-processing path of one host.
+
+The P4 Xeon SMP machines of the paper pin every interrupt to a single
+CPU, so the network receive path offers no CPU-level parallelism
+regardless of socket count (§3.3) — which is why the uniprocessor kernel
+*wins*.  The model therefore exposes one FCFS processing resource; SMP's
+cost is carried as multipliers in :class:`~repro.oskernel.kernelcfg.KernelConfig`,
+and the second socket only shows up in load reporting.
+"""
+
+from __future__ import annotations
+
+from repro.hw.presets import HostSpec
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["CpuComplex"]
+
+
+class CpuComplex:
+    """The packet-processing CPU of a host."""
+
+    def __init__(self, env: Environment, spec: HostSpec, name: str = "cpu"):
+        self.env = env
+        self.spec = spec
+        self.resource = Resource(env, capacity=spec.parallel_rx_cpus,
+                                 name=name)
+        self._window_start = 0.0
+        self._window_busy_base = 0.0
+
+    def run(self, cost_s: float):
+        """Process: occupy the CPU for ``cost_s`` seconds.
+
+        Usage: ``yield from host.cpu.run(cost)``.
+        """
+        if cost_s <= 0:
+            return
+        req = self.resource.request()
+        yield req
+        yield self.env.timeout(cost_s)
+        self.resource.release(req)
+
+    # -- load reporting ---------------------------------------------------------
+    def load(self) -> float:
+        """Instantaneous-window load: busy fraction of the processing CPU
+        since the last :meth:`reset_load_window` (what sampling
+        ``/proc/loadavg`` during a steady run reports)."""
+        res = self.resource
+        busy = res.busy_time
+        if res._busy_since is not None:  # include in-progress holding
+            busy += (self.env.now - res._busy_since) * res.in_use
+        span = self.env.now - self._window_start
+        if span <= 0:
+            return 0.0
+        return (busy - self._window_busy_base) / span
+
+    def reset_load_window(self) -> None:
+        """Start a fresh load-measurement window at the current time."""
+        res = self.resource
+        busy = res.busy_time
+        if res._busy_since is not None:
+            busy += (self.env.now - res._busy_since) * res.in_use
+        self._window_busy_base = busy
+        self._window_start = self.env.now

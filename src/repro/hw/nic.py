@@ -1,0 +1,185 @@
+"""Network adapters: the Intel PRO/10GbE LR and a GbE client NIC.
+
+The 10GbE adapter (Figure 1 of the paper) couples a DMA engine on the
+PCI-X side with the MAC/PCS/SerDes/optics chain on the wire side and
+offloads TCP/IP checksums and (optionally) TCP segmentation.  The model
+reproduces the externally visible timing:
+
+* every frame crosses the host's PCI-X bus in MMRBC-sized bursts,
+* the adapter adds a fixed internal traverse latency,
+* received frames raise interrupts through a coalescing timer
+  (the 5 µs delay the paper turns off to save 5 µs of latency), and
+* TSO lets the host hand down a large virtual segment that the adapter
+  re-segments at wire speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import LinkError, TopologyError
+from repro.oskernel.skbuff import SkBuff
+from repro.sim.engine import Environment
+from repro.sim.monitor import CounterMonitor
+from repro.sim.resources import Store
+from repro.units import Gbps, us
+
+__all__ = ["TenGigAdapter", "GigAdapter", "RX_RING_FRAMES"]
+
+#: Receive descriptor ring depth (frames buffered on-board + in ring).
+RX_RING_FRAMES = 1024
+
+
+class TenGigAdapter:
+    """Intel 82597EX-style server adapter bound to one host.
+
+    Parameters
+    ----------
+    host:
+        The owning :class:`~repro.hw.host.Host` (provides PCI-X bus,
+        cost model, tuning config and the receive dispatch).
+    address:
+        Link-layer address used by switches for forwarding.
+    """
+
+    rate_bps = Gbps(10)
+
+    def __init__(self, env: Environment, host, address: str,
+                 name: str = "", own_bus: bool = False):
+        self.env = env
+        self.host = host
+        self.address = address
+        self.name = name or address
+        self._egress = None
+        if host.config.csa:
+            # §3.5.3: the adapter hangs off the memory controller hub,
+            # bypassing the PCI-X bus (and its MMRBC sensitivity).
+            from repro.hw.csa import MchLink
+            self.pcix = MchLink(env, name=f"{self.name}.mch")
+        else:
+            self.pcix = host.new_pcix_bus() if own_bus else host.pcix
+        cfg = host.config
+        self.txq = Store(env, capacity=cfg.txqueuelen, name=f"{self.name}.txq")
+        self.tx_drops = CounterMonitor(env, name=f"{self.name}.txdrop")
+        self.rx_drops = CounterMonitor(env, name=f"{self.name}.rxdrop")
+        self.tx_frames = CounterMonitor(env, name=f"{self.name}.tx")
+        self.rx_frames = CounterMonitor(env, name=f"{self.name}.rx")
+        self.interrupts = CounterMonitor(env, name=f"{self.name}.irq")
+        self._rx_pending: List[SkBuff] = []
+        self._irq_timer_armed = False
+        from repro.oskernel.interrupts import InterruptModerator
+        self.moderator = InterruptModerator(
+            base_delay_s=cfg.interrupt_coalescing_us * 1e-6,
+            adaptive=cfg.adaptive_coalescing)
+        env.process(self._tx_loop(), name=f"{self.name}.txloop")
+        host.register_adapter(self)
+
+    # -- wiring ---------------------------------------------------------------
+    def set_egress(self, egress) -> None:
+        """Attach the transmit wire (an EthernetLink or PosCircuit)."""
+        self._egress = egress
+
+    @property
+    def egress(self):
+        """The attached transmit wire."""
+        return self._egress
+
+    # -- transmit ----------------------------------------------------------------
+    def send(self, skb: SkBuff) -> bool:
+        """Queue a frame for transmission (non-blocking).
+
+        Returns False (and counts a drop) when the device transmit queue
+        (``txqueuelen``) is full — the local congestion signal the
+        paper's WAN recipe avoids by raising txqueuelen to 10000.
+        Stack-generated frames (ACKs, UDP, pktgen) use this path.
+        """
+        if self._egress is None:
+            raise TopologyError(f"{self.name}: egress not connected")
+        if self.txq.level >= self.txq.capacity:
+            self.tx_drops.add()
+            return False
+        self.txq.put(skb)
+        return True
+
+    def enqueue(self, skb: SkBuff):
+        """Blocking enqueue: the event fires once the qdisc accepts the
+        frame.  TCP data uses this path — a full device queue applies
+        backpressure (the qdisc requeues) rather than dropping, which is
+        how ``dev_queue_xmit`` behaves for a socket-owned skb."""
+        if self._egress is None:
+            raise TopologyError(f"{self.name}: egress not connected")
+        return self.txq.put(skb)
+
+    def _tx_loop(self):
+        cfg = self.host.config
+        while True:
+            skb = yield self.txq.get()
+            # DMA the frame (or super-segment) across PCI-X.
+            yield from self.pcix.dma(skb.frame_bytes, cfg.mmrbc)
+            yield self.env.timeout(self.host.costs.nic_traverse_s)
+            for frame in self._wire_frames(skb):
+                self._egress.transmit(frame)
+                self.tx_frames.add()
+
+    def _wire_frames(self, skb: SkBuff) -> List[SkBuff]:
+        """Re-segment a TSO super-segment into wire frames; ordinary
+        frames pass through untouched."""
+        cfg = self.host.config
+        max_payload = cfg.mtu - skb.headers
+        if skb.payload <= max_payload or skb.kind != "data":
+            return [skb]
+        frames: List[SkBuff] = []
+        offset = 0
+        while offset < skb.payload:
+            chunk = min(max_payload, skb.payload - offset)
+            frames.append(SkBuff(
+                payload=chunk, headers=skb.headers, kind=skb.kind,
+                seq=skb.seq + offset, end_seq=skb.seq + offset + chunk,
+                ack=skb.ack, conn=skb.conn,
+                meta=dict(skb.meta, tso_parent=skb.ident)))
+            offset += chunk
+        return frames
+
+    # -- receive -------------------------------------------------------------------
+    def receive_frame(self, skb: SkBuff) -> None:
+        """Wire-side delivery (called by the attached link)."""
+        if len(self._rx_pending) >= RX_RING_FRAMES:
+            self.rx_drops.add()
+            return
+        self.rx_frames.add()
+        self.env.process(self._rx_dma(skb), name=f"{self.name}.rxdma")
+
+    def _rx_dma(self, skb: SkBuff):
+        # DMA into host memory, then post toward the interrupt unit.
+        yield from self.pcix.dma(skb.frame_bytes, self.host.config.mmrbc)
+        yield self.env.timeout(self.host.costs.nic_traverse_s
+                               + self.host.costs.rx_fixed_pad_s)
+        self._rx_pending.append(skb)
+        self.moderator.note_arrival(self.env.now)
+        self._arm_interrupt()
+
+    def _arm_interrupt(self) -> None:
+        coalesce = self.moderator.arming_delay_s()
+        if coalesce <= 0:
+            self._fire_interrupt()
+            return
+        if not self._irq_timer_armed:
+            self._irq_timer_armed = True
+            self.env.schedule_call(coalesce, self._on_irq_timer)
+
+    def _on_irq_timer(self) -> None:
+        self._irq_timer_armed = False
+        self._fire_interrupt()
+
+    def _fire_interrupt(self) -> None:
+        if not self._rx_pending:
+            return
+        batch, self._rx_pending = self._rx_pending, []
+        self.interrupts.add()
+        self.host.deliver_rx(self, batch)
+
+
+class GigAdapter(TenGigAdapter):
+    """Commodity GbE NIC for the multi-flow aggregation clients."""
+
+    rate_bps = Gbps(1)

@@ -1,0 +1,26 @@
+"""Network fabric: Ethernet links, switches and WAN circuits."""
+
+from repro.net.ethernet import EthernetLink, wire_time
+from repro.net.switch import Switch, SwitchPort, FASTIRON_1500
+from repro.net.wanpath import PosCircuit, Router, WanPath
+from repro.net.topology import (
+    BackToBack,
+    ThroughSwitch,
+    MultiFlow,
+    build_wan_path,
+)
+
+__all__ = [
+    "EthernetLink",
+    "wire_time",
+    "Switch",
+    "SwitchPort",
+    "FASTIRON_1500",
+    "PosCircuit",
+    "Router",
+    "WanPath",
+    "BackToBack",
+    "ThroughSwitch",
+    "MultiFlow",
+    "build_wan_path",
+]

@@ -1,0 +1,193 @@
+"""WAN substrate: POS circuits and routers for the §4 record run.
+
+The paper's path: Sunnyvale --(Level3 OC-192 POS)--> StarLight Chicago
+--(transatlantic LHCnet OC-48 POS)--> CERN Geneva, crossing a Cisco GSR
+12406, a Juniper T640 (TeraGrid), a Cisco 7609 and a Cisco 7606, with a
+measured RTT of 180 ms.  The OC-48 segment (2.5 Gb/s) is the bottleneck;
+packet loss "is due exclusively to congestion", i.e. to drop-tail queue
+overflow at the bottleneck router.
+
+Circuit lengths below are *route* kilometres chosen to reproduce the
+measured 180 ms RTT over fibre at 2e8 m/s (great-circle distance is
+shorter than real routing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import LinkError, TopologyError
+from repro.net.ethernet import FrameSink
+from repro.oskernel.skbuff import SkBuff
+from repro.sim.engine import Environment
+from repro.sim.monitor import CounterMonitor
+from repro.sim.resources import Resource, Store
+from repro.units import Gbps, us
+
+__all__ = ["PosCircuit", "Router", "WanPath",
+           "OC192_BPS", "OC48_BPS", "SONET_PAYLOAD_FRACTION", "POS_OVERHEAD"]
+
+#: SONET line rates.
+OC192_BPS = Gbps(9.953)
+OC48_BPS = Gbps(2.488)
+
+#: Fraction of the SONET line rate available to the PPP payload
+#: (section + line + path overhead): OC-48 carries ~2.396 Gb/s of POS
+#: payload, which is what makes the paper's 2.38 Gb/s "roughly 99%
+#: payload efficiency".
+SONET_PAYLOAD_FRACTION = 0.963
+
+#: PPP/HDLC framing bytes per packet on a POS circuit.
+POS_OVERHEAD = 9
+
+
+class PosCircuit:
+    """One direction of a packet-over-SONET circuit."""
+
+    def __init__(self, env: Environment, line_bps: float, length_km: float,
+                 name: str = "pos"):
+        if line_bps <= 0:
+            raise LinkError(f"{name}: line rate must be positive")
+        if length_km < 0:
+            raise LinkError(f"{name}: length cannot be negative")
+        self.env = env
+        self.line_bps = line_bps
+        self.payload_bps = line_bps * SONET_PAYLOAD_FRACTION
+        self.propagation_s = length_km * 1000.0 / 2.0e8
+        self.name = name
+        self._sink: Optional[FrameSink] = None
+        self._tx = Resource(env, capacity=1, name=f"{name}.tx")
+        self.frames = CounterMonitor(env, name=f"{name}.frames")
+
+    def connect(self, sink: FrameSink) -> None:
+        """Attach the far end."""
+        self._sink = sink
+
+    def serialization_time(self, skb: SkBuff) -> float:
+        """Seconds to clock one packet onto the circuit."""
+        return (skb.payload + skb.headers + POS_OVERHEAD) * 8.0 / self.payload_bps
+
+    def transmit(self, skb: SkBuff) -> None:
+        """Serialize FIFO, deliver after propagation (fire-and-forget)."""
+        if self._sink is None:
+            raise LinkError(f"{self.name}: transmit on unconnected circuit")
+        self.env.process(self._send(skb), name=f"{self.name}#{skb.ident}")
+
+    def send(self, skb: SkBuff):
+        """Blocking variant (see :meth:`EthernetLink.send`)."""
+        if self._sink is None:
+            raise LinkError(f"{self.name}: transmit on unconnected circuit")
+        return self._send(skb)
+
+    def _send(self, skb: SkBuff):
+        req = self._tx.request()
+        yield req
+        yield self.env.timeout(self.serialization_time(skb))
+        self._tx.release(req)
+        self.frames.add()
+        self.env.schedule_call(self.propagation_s,
+                               self._sink.receive_frame, skb)
+
+    def utilization(self) -> float:
+        """Busy fraction of the circuit."""
+        return self._tx.utilization()
+
+
+class Router:
+    """A drop-tail output-queued router hop.
+
+    Frames arriving via :meth:`receive_frame` are queued for the
+    ``egress`` circuit; when the queue is full the frame is dropped —
+    the congestion signal TCP reacts to in §4.
+    """
+
+    def __init__(self, env: Environment, egress, name: str = "router",
+                 queue_frames: int = 1024,
+                 forwarding_latency_s: float = us(20.0)):
+        if queue_frames < 1:
+            raise TopologyError(f"{name}: queue must hold at least one frame")
+        self.env = env
+        self.egress = egress
+        self.name = name
+        self.queue = Store(env, capacity=queue_frames, name=f"{name}.q")
+        self.forwarding_latency_s = forwarding_latency_s
+        self.drops = CounterMonitor(env, name=f"{name}.drops")
+        self.forwarded = CounterMonitor(env, name=f"{name}.fwd")
+        env.process(self._drain(), name=f"{name}.drain")
+
+    def receive_frame(self, skb: SkBuff) -> None:
+        """Lookup/processing latency, then queue or drop.
+
+        The forwarding latency is pipelined (it delays each frame but
+        does not occupy the egress), so it never caps throughput."""
+        self.env.schedule_call(self.forwarding_latency_s,
+                               self._enqueue, skb)
+
+    def _enqueue(self, skb: SkBuff) -> None:
+        if self.queue.level >= self.queue.capacity:
+            self.drops.add()
+            return
+        self.queue.put(skb)
+
+    def _drain(self):
+        while True:
+            skb = yield self.queue.get()
+            # block on the egress serializer: backlog lives in *this*
+            # queue, where drop-tail applies
+            yield from self.egress.send(skb)
+            self.forwarded.add()
+
+    @property
+    def occupancy(self) -> int:
+        """Frames currently queued."""
+        return self.queue.level
+
+
+class WanPath:
+    """One direction of the Sunnyvale—Geneva path.
+
+    ``head`` is the :class:`FrameSink` a host NIC should transmit into;
+    the final circuit is connected to the receiving host by the caller
+    via :meth:`connect`.
+    """
+
+    def __init__(self, env: Environment, name: str = "wan",
+                 bottleneck_queue_frames: int = 1024,
+                 oc192_km: float = 5000.0, oc48_km: float = 13000.0):
+        self.env = env
+        self.name = name
+        # Sunnyvale -> Chicago: OC-192, entered through the GSR 12406.
+        self.oc192 = PosCircuit(env, OC192_BPS, oc192_km, name=f"{name}.oc192")
+        # Chicago -> Geneva: OC-48, the bottleneck, entered through the
+        # TeraGrid T640 whose output queue is where congestion loss lives.
+        self.oc48 = PosCircuit(env, OC48_BPS, oc48_km, name=f"{name}.oc48")
+        self.ingress_router = Router(env, self.oc192, name=f"{name}.gsr12406",
+                                     queue_frames=4096)
+        self.bottleneck_router = Router(env, self.oc48, name=f"{name}.t640",
+                                        queue_frames=bottleneck_queue_frames)
+        self.oc192.connect(self.bottleneck_router)
+
+    @property
+    def head(self) -> FrameSink:
+        """Where the sending host's NIC should deliver frames."""
+        return self.ingress_router
+
+    def connect(self, sink: FrameSink) -> None:
+        """Attach the receiving host's NIC at Geneva."""
+        self.oc48.connect(sink)
+
+    @property
+    def propagation_s(self) -> float:
+        """One-way propagation of the whole path."""
+        return self.oc192.propagation_s + self.oc48.propagation_s
+
+    @property
+    def bottleneck_bps(self) -> float:
+        """Payload rate of the slowest circuit."""
+        return min(self.oc192.payload_bps, self.oc48.payload_bps)
+
+    @property
+    def drops(self) -> int:
+        """Congestion drops along the path."""
+        return int(self.ingress_router.drops.total
+                   + self.bottleneck_router.drops.total)

@@ -1,0 +1,174 @@
+"""Power-of-two sk_buff allocator (the mechanism behind the 8160-byte MTU).
+
+Linux allocates packet buffers from pools of power-of-two sized blocks:
+512, 1024, 2048, ... bytes.  An 8160-byte MTU lets a whole frame
+(payload + TCP/IP + Ethernet headers + skb bookkeeping) fit in a single
+8192-byte block, whereas a 9000-byte MTU forces a 16384-byte block and
+wastes roughly 7000 bytes (paper §3.3, "Tuning the MTU Size").
+
+Two costs matter and are both modelled here:
+
+* **truesize** — the block size actually charged against socket-buffer
+  memory, which shrinks the effective TCP window for wasteful MTUs; and
+* **allocation cost** — finding contiguous pages for high-order blocks
+  "places far greater stress on the kernel's memory-allocation
+  subsystem"; cost grows with the number of pages assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import AllocationError
+from repro.units import us
+
+__all__ = [
+    "block_size_for",
+    "block_order",
+    "BuddyAllocator",
+    "AllocatorStats",
+    "SKB_OVERHEAD",
+    "PAGE_SIZE",
+    "MAX_BLOCK",
+]
+
+#: Per-skb bookkeeping bytes charged on top of the frame data
+#: (struct sk_buff + shared info, Linux 2.4 era).
+SKB_OVERHEAD = 192
+
+#: x86 page size.
+PAGE_SIZE = 4096
+
+#: Largest block the allocator will hand out (order-5: 128 KB).
+MAX_BLOCK = PAGE_SIZE * 32
+
+#: Smallest block handed out.
+MIN_BLOCK = 256
+
+
+def block_size_for(nbytes: int) -> int:
+    """The power-of-two block size that holds ``nbytes``.
+
+    >>> block_size_for(8160 + 18)   # 8160-byte MTU frame fits order-1
+    8192
+    >>> block_size_for(9000 + 18)   # 9000-byte MTU wastes ~7 KB
+    16384
+    """
+    if nbytes <= 0:
+        raise AllocationError(f"allocation size must be positive, got {nbytes}")
+    if nbytes > MAX_BLOCK:
+        raise AllocationError(
+            f"allocation of {nbytes} exceeds max block {MAX_BLOCK}")
+    size = MIN_BLOCK
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+def block_order(block_bytes: int) -> int:
+    """Buddy order of a block: number of pages as a power of two.
+
+    Blocks at or below one page are order 0.
+    """
+    order = 0
+    pages = (block_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+    while (1 << order) < pages:
+        order += 1
+    return order
+
+
+@dataclass
+class AllocatorStats:
+    """Counters the tests and benchmarks assert on."""
+
+    allocations: int = 0
+    frees: int = 0
+    bytes_requested: int = 0
+    bytes_allocated: int = 0
+    by_block: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def live(self) -> int:
+        """Allocations not yet freed."""
+        return self.allocations - self.frees
+
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of allocated bytes that is padding."""
+        if self.bytes_allocated == 0:
+            return 0.0
+        return 1.0 - self.bytes_requested / self.bytes_allocated
+
+
+class BuddyAllocator:
+    """Cost-and-accounting model of the kernel block allocator.
+
+    This is not a memory manager (nothing is stored); it computes the
+    block size, tracks outstanding bytes, and prices each allocation.
+
+    Parameters
+    ----------
+    base_cost_s:
+        Cost of an order-0 allocation (seconds of CPU).
+    order_penalty_s:
+        Extra cost per buddy order above zero — the "harder to find the
+        contiguous pages" effect.  The default is calibrated in
+        :mod:`repro.hw.calibration`.
+    """
+
+    def __init__(self, base_cost_s: float = us(0.15),
+                 order_penalty_s: float = us(0.55)):
+        if base_cost_s < 0 or order_penalty_s < 0:
+            raise AllocationError("allocator costs cannot be negative")
+        self.base_cost_s = base_cost_s
+        self.order_penalty_s = order_penalty_s
+        self.stats = AllocatorStats()
+        self._outstanding: Dict[int, int] = {}
+        self._next_id = 0
+
+    # -- allocation ------------------------------------------------------------
+    def alloc(self, nbytes: int) -> "Allocation":
+        """Allocate a block holding ``nbytes``; returns the handle."""
+        block = block_size_for(nbytes)
+        self._next_id += 1
+        handle = Allocation(self._next_id, nbytes, block,
+                            self.alloc_cost(nbytes))
+        self._outstanding[handle.ident] = block
+        st = self.stats
+        st.allocations += 1
+        st.bytes_requested += nbytes
+        st.bytes_allocated += block
+        st.by_block[block] = st.by_block.get(block, 0) + 1
+        return handle
+
+    def free(self, handle: "Allocation") -> None:
+        """Release ``handle``; double frees raise."""
+        if self._outstanding.pop(handle.ident, None) is None:
+            raise AllocationError(f"double free of allocation {handle.ident}")
+        self.stats.frees += 1
+
+    def alloc_cost(self, nbytes: int) -> float:
+        """CPU seconds to allocate a block for ``nbytes``."""
+        order = block_order(block_size_for(nbytes))
+        return self.base_cost_s + order * self.order_penalty_s
+
+    @property
+    def outstanding_bytes(self) -> int:
+        """Total truesize of live allocations."""
+        return sum(self._outstanding.values())
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle to one live block."""
+
+    ident: int
+    requested: int
+    block: int
+    cost_s: float
+
+    @property
+    def waste(self) -> int:
+        """Padding bytes in this block."""
+        return self.block - self.requested

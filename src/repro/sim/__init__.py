@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+A small, dependency-free engine in the style of SimPy: generator-based
+processes yield :class:`~repro.sim.engine.Event` objects (timeouts,
+resource requests, store gets/puts) and are resumed when those events
+fire.  The engine is deterministic — equal-time events fire in schedule
+order — which makes every experiment in this repository exactly
+reproducible.
+"""
+
+from repro.sim.engine import Environment, Event, Timeout, Process, Interrupt
+from repro.sim.resources import Resource, Request, Store, StorePut, StoreGet
+from repro.sim.monitor import Monitor, CounterMonitor, UtilizationMonitor
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBuffer, TraceEvent
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "Request",
+    "Store",
+    "StorePut",
+    "StoreGet",
+    "Monitor",
+    "CounterMonitor",
+    "UtilizationMonitor",
+    "RngStreams",
+    "TraceBuffer",
+    "TraceEvent",
+]

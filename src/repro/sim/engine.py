@@ -1,0 +1,330 @@
+"""Discrete-event simulation core: environment, events and processes.
+
+Design notes
+------------
+
+* The event queue is a binary heap of ``(time, sequence, Event)`` tuples.
+  The monotonically increasing sequence number guarantees FIFO ordering
+  among same-time events, so runs are bit-for-bit deterministic.
+* Processes are plain Python generators.  A process yields an
+  :class:`Event`; the engine registers the process as a callback and
+  resumes it (``send``/``throw``) when the event fires.  This is the same
+  execution model as SimPy's, reduced to the features the repro needs.
+* Following the profiling guidance in the HPC-Python guides the hot path
+  (``Environment.step``) avoids attribute lookups in the inner loop and
+  allocates nothing beyond the events themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import ScheduleInPastError, SimulationError
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event goes through three states: *pending* (created), *triggered*
+    (scheduled on the event queue) and *processed* (callbacks ran).  Use
+    :meth:`succeed` or :meth:`fail` to trigger it.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection --------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only after triggering)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed` / the exception of :meth:`fail`."""
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire with an exception after ``delay``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately;
+        this removes a whole class of lost-wakeup races.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` seconds from creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ScheduleInPastError(f"negative timeout: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator's ``return`` value becomes the event value, so parent
+    processes can ``result = yield env.process(child())``.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any],
+                 name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the process at the current time.
+        init = Event(env)
+        init.succeed()
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is detached (its callback
+        removed) so it cannot resume the process a second time.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wake = Event(self.env)
+        wake.succeed(value=Interrupt(cause))
+        wake._ok = False  # deliver via throw()
+        wake.add_callback(self._resume)
+
+    # -- engine internals ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        gen = self._generator
+        try:
+            if event._ok:
+                target = gen.send(event._value)
+            else:
+                exc = event._value
+                target = gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(True, stop.value)
+            return
+        except BaseException as exc:  # process died with an error
+            self._finish(False, exc)
+            return
+        if not isinstance(target, Event):
+            # Close the generator, then report a clear error.
+            gen.close()
+            self._finish(False, SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances"))
+            return
+        if target.env is not self.env:
+            gen.close()
+            self._finish(False, SimulationError(
+                f"process {self.name!r} yielded an event from another environment"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        self.env._schedule(self, 0.0)
+        if not ok and not self.callbacks:
+            # Nobody is waiting on this process: surface the crash rather
+            # than swallowing it (mirrors SimPy's behaviour).
+            self.env._record_crash(self, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._crashes: List[Tuple[Process, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- event constructors ---------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        """Start running ``generator`` as a process."""
+        return Process(self, generator, name=name)
+
+    def schedule_call(self, delay: float, fn: Callable[..., None],
+                      *args: Any) -> Event:
+        """Call ``fn(*args)`` after ``delay`` (plain callback, no process)."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _ev: fn(*args))
+        return ev
+
+    # -- engine internals ---------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise ScheduleInPastError(
+                f"cannot schedule event {delay!r}s in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def _record_crash(self, process: Process, exc: BaseException) -> None:
+        self._crashes.append((process, exc))
+
+    # -- execution -------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+        if self._crashes:
+            process, exc = self._crashes.pop(0)
+            raise SimulationError(
+                f"process {process.name!r} crashed: {exc!r}") from exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run events until the queue empties, ``until`` fires or time passes.
+
+        ``until`` may be ``None`` (drain the queue), a number (stop when the
+        clock reaches it) or an :class:`Event` (stop when it fires; its
+        value is returned — an exception value is raised).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            done = {"flag": False}
+
+            def _mark(_ev: Event) -> None:
+                done["flag"] = True
+
+            until.add_callback(_mark)
+            while not done["flag"]:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before `until` event fired")
+                self.step()
+            if not until.ok:
+                raise until.value
+            return until.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ScheduleInPastError(
+                f"run(until={horizon!r}) is before now={self._now!r}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Environment now={self._now:.9f} pending={len(self._queue)}>"

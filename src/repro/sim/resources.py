@@ -1,0 +1,221 @@
+"""Shared resources for the DES: FCFS servers and object stores.
+
+:class:`Resource` models a server with finite capacity (a CPU, a bus, a
+switch port): processes ``yield resource.request()``, hold the resource
+while they consume service time, then ``release()``.  Queueing is strictly
+FIFO, which matches the hardware being modelled (PCI-X bus arbitration,
+interrupt servicing) closely enough for the paper's effects.
+
+:class:`Store` is an unbounded-or-bounded FIFO of Python objects used for
+NIC descriptor rings, socket receive queues and switch output queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import ResourceError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Resource", "Request", "Store", "StorePut", "StoreGet"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+
+
+class Resource:
+    """A finite-capacity FCFS server.
+
+    Usage from a process::
+
+        req = cpu.request()
+        yield req
+        yield env.timeout(service_time)
+        cpu.release(req)
+
+    Attributes
+    ----------
+    capacity:
+        Number of simultaneous holders.
+    busy_time:
+        Accumulated holder-seconds, for utilisation accounting.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._holders: set = set()
+        self._waiting: Deque[Request] = deque()
+        # utilisation accounting
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+        self.grant_count = 0
+
+    # -- queue state ----------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Number of current holders."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._waiting)
+
+    # -- protocol ---------------------------------------------------------------
+    def request(self) -> Request:
+        """Claim one unit of capacity; the returned event fires when granted."""
+        req = Request(self.env, self)
+        if len(self._holders) < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return the capacity held by ``request``."""
+        if request not in self._holders:
+            raise ResourceError(
+                f"release() of a request that does not hold {self.name or self!r}")
+        self._account_idle()
+        self._holders.discard(request)
+        if not self._holders:
+            self._busy_since = None
+        while self._waiting and len(self._holders) < self.capacity:
+            self._grant(self._waiting.popleft())
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a not-yet-granted request (no-op if already granted)."""
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of holder-capacity-time used since t=0.
+
+        ``elapsed`` defaults to the current simulation time.
+        """
+        t = self.env.now if elapsed is None else elapsed
+        if t <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += (self.env.now - self._busy_since) * len(self._holders)
+        return busy / (t * self.capacity)
+
+    # -- internals ---------------------------------------------------------------
+    def _grant(self, req: Request) -> None:
+        self._account_idle()
+        self._holders.add(req)
+        self._busy_since = self.env.now
+        self.grant_count += 1
+        req.succeed(value=self)
+
+    def _account_idle(self) -> None:
+        if self._busy_since is not None:
+            self.busy_time += (self.env.now - self._busy_since) * len(self._holders)
+            self._busy_since = self.env.now if self._holders else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Resource {self.name!r} {self.in_use}/{self.capacity} busy,"
+                f" {self.queue_length} queued>")
+
+
+class StorePut(Event):
+    """Pending put into a bounded :class:`Store`; fires when accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending get from a :class:`Store`; fires with the item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """A FIFO buffer of objects with optional capacity.
+
+    ``yield store.put(x)`` blocks while the store is full;
+    ``item = yield store.get()`` blocks while it is empty.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 name: str = ""):
+        if capacity < 1:
+            raise ResourceError(f"store capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self.put_count = 0
+        self.get_count = 0
+        self.max_level = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self._items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the returned event fires when there is room."""
+        ev = StorePut(self.env, item)
+        self._putters.append(ev)
+        self._settle()
+        return ev
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the returned event fires with it."""
+        ev = StoreGet(self.env)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def try_get(self) -> Any:
+        """Non-blocking get: the oldest item, or ``None`` when empty."""
+        if self._items:
+            self.get_count += 1
+            return self._items.popleft()
+        return None
+
+    def _settle(self) -> None:
+        moved = True
+        while moved:
+            moved = False
+            if self._putters and len(self._items) < self.capacity:
+                put = self._putters.popleft()
+                self._items.append(put.item)
+                self.put_count += 1
+                if len(self._items) > self.max_level:
+                    self.max_level = len(self._items)
+                put.succeed()
+                moved = True
+            if self._getters and self._items:
+                get = self._getters.popleft()
+                self.get_count += 1
+                get.succeed(value=self._items.popleft())
+                moved = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Store {self.name!r} level={self.level}/{self.capacity}>"

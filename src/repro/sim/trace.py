@@ -1,0 +1,101 @@
+"""Low-overhead event tracing — the substrate for the MAGNET tool.
+
+The paper used MAGNET to trace individual packets through the Linux TCP
+stack "with negligible effect on network performance".  We reproduce the
+same idea: components post :class:`TraceEvent` records into a shared
+:class:`TraceBuffer`; when tracing is disabled the post is a single
+attribute check, so the simulation hot path stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceBuffer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the event.
+    point:
+        Instrumentation point name, e.g. ``"tcp.tx.segment"``.
+    subject:
+        Identifier of the traced object (packet id, connection id...).
+    detail:
+        Free-form extra fields.
+    """
+
+    time: float
+    point: str
+    subject: Any = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceBuffer:
+    """Ring buffer of :class:`TraceEvent` records.
+
+    ``enabled`` gates recording; ``max_events`` bounds memory (oldest
+    records are discarded first, like a kernel trace ring).
+    """
+
+    def __init__(self, max_events: int = 1_000_000, enabled: bool = False):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def post(self, time: float, point: str, subject: Any = None,
+             **detail: Any) -> None:
+        """Record an event (no-op unless enabled)."""
+        if not self.enabled:
+            return
+        if len(self._events) >= self.max_events:
+            # Drop the oldest half in one go: amortised O(1) per post.
+            keep = self.max_events // 2
+            self.dropped += len(self._events) - keep
+            self._events = self._events[-keep:]
+        self._events.append(TraceEvent(time, point, subject, detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self._events.clear()
+        self.dropped = 0
+
+    def select(self, point: Optional[str] = None,
+               subject: Any = None) -> List[TraceEvent]:
+        """Events filtered by instrumentation point and/or subject.
+
+        ``point`` may end with ``*`` for prefix matching
+        (``"tcp.rx.*"``).
+        """
+        events = self._events
+        if point is not None:
+            if point.endswith("*"):
+                prefix = point[:-1]
+                events = [e for e in events if e.point.startswith(prefix)]
+            else:
+                events = [e for e in events if e.point == point]
+        if subject is not None:
+            events = [e for e in events if e.subject == subject]
+        return list(events)
+
+    def points(self) -> Dict[str, int]:
+        """Histogram of instrumentation points seen."""
+        hist: Dict[str, int] = {}
+        for e in self._events:
+            hist[e.point] = hist.get(e.point, 0) + 1
+        return hist

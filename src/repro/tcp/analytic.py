@@ -1,0 +1,176 @@
+"""Closed-form models: Table 1, Figure 8 and the §3.5.1 worked example.
+
+These are the paper's own back-of-envelope models, implemented exactly:
+
+* ``bandwidth_delay_product`` — the ideal window.
+* ``recovery_time_s`` — Table 1: after a single loss halves a
+  BDP-sized congestion window, additive increase recovers one MSS-sized
+  segment per RTT, so recovery takes ``(BDP / 2MSS) * RTT``.
+* ``mss_aligned_window`` / ``window_efficiency`` — Figure 8: the best
+  MSS-aligned window inside an ideal window, and the fraction retained.
+* ``sender_receiver_mismatch`` — the worked example with sender MSS
+  8960, receiver MSS 8948 and 33000 bytes of socket memory.
+* ``predict_throughput_bps`` — the fluid bottleneck model used for fast
+  full-resolution curves (cross-validated against the DES in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import TuningConfig
+from repro.errors import ProtocolError
+from repro.hw.calibration import Calibration, CostModel, DEFAULT_CALIBRATION
+from repro.hw.pcix import BURST_OVERHEAD_S
+from repro.hw.presets import HostSpec
+from repro.oskernel.skbuff import ETH_HEADER, ETH_OVERHEAD_WIRE
+from repro.tcp.mss import mss_for_mtu
+from repro.tcp.window import sws_aligned, window_from_space
+from repro.units import Gbps
+
+__all__ = [
+    "bandwidth_delay_product",
+    "recovery_time_s",
+    "mss_aligned_window",
+    "window_efficiency",
+    "sender_receiver_mismatch",
+    "MismatchResult",
+    "predict_throughput_bps",
+]
+
+
+def bandwidth_delay_product(rate_bps: float, rtt_s: float) -> float:
+    """Ideal window in bytes for a path of ``rate_bps`` and ``rtt_s``."""
+    if rate_bps <= 0 or rtt_s <= 0:
+        raise ProtocolError("rate and RTT must be positive")
+    return rate_bps * rtt_s / 8.0
+
+
+def recovery_time_s(rate_bps: float, rtt_s: float, mss: int) -> float:
+    """Table 1: time to regrow the congestion window after one loss.
+
+    Assumes the window equalled the BDP when the packet was lost; AIMD
+    halves it and then adds one segment per RTT.
+    """
+    if mss <= 0:
+        raise ProtocolError("MSS must be positive")
+    window_segments = bandwidth_delay_product(rate_bps, rtt_s) / mss
+    return (window_segments / 2.0) * rtt_s
+
+
+def mss_aligned_window(ideal_window: int, mss: int) -> int:
+    """Figure 8: the best window achievable when it must be MSS-aligned."""
+    return sws_aligned(ideal_window, mss)
+
+
+def window_efficiency(ideal_window: int, mss: int) -> float:
+    """Fraction of the ideal window usable under MSS alignment."""
+    if ideal_window <= 0:
+        raise ProtocolError("ideal window must be positive")
+    return mss_aligned_window(ideal_window, mss) / ideal_window
+
+
+@dataclass(frozen=True)
+class MismatchResult:
+    """Outcome of the §3.5.1 sender/receiver MSS mismatch example."""
+
+    available_memory: int
+    receiver_mss: int
+    sender_mss: int
+    advertised_window: int
+    usable_window: int
+
+    @property
+    def advertised_loss(self) -> float:
+        """Fraction of socket memory not advertised."""
+        return 1.0 - self.advertised_window / self.available_memory
+
+    @property
+    def usable_loss(self) -> float:
+        """Fraction of socket memory the sender can actually use."""
+        return 1.0 - self.usable_window / self.available_memory
+
+
+def sender_receiver_mismatch(available_memory: int = 33000,
+                             receiver_mss: int = 8948,
+                             sender_mss: int = 8960) -> MismatchResult:
+    """The paper's worked example: 33000 bytes of receive memory
+    advertises ``floor(33000/8948)*8948 = 26844`` (19% lost), of which
+    the sender's 8960-aligned congestion window can use only
+    ``floor(26844/8960)*8960 = 17920`` — nearly 50% below the memory."""
+    advertised = sws_aligned(available_memory, receiver_mss)
+    usable = sws_aligned(advertised, sender_mss)
+    return MismatchResult(available_memory=available_memory,
+                          receiver_mss=receiver_mss,
+                          sender_mss=sender_mss,
+                          advertised_window=advertised,
+                          usable_window=usable)
+
+
+# ---------------------------------------------------------------------------
+# Fast fluid throughput model (full-resolution curves; DES cross-checks)
+# ---------------------------------------------------------------------------
+
+def _segment_sizes(payload: int, mss: int):
+    """Per-write segment sizes (writes are flushed, never coalesced)."""
+    full, rest = divmod(payload, mss)
+    sizes = [mss] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+def predict_throughput_bps(spec: HostSpec, config: TuningConfig,
+                           payload: int,
+                           base_rtt_s: float = 45e-6,
+                           wire_bps: float = Gbps(10),
+                           calibration: Calibration = DEFAULT_CALIBRATION) -> float:
+    """Steady-state goodput of one NTTCP-style flow (fluid model).
+
+    Takes the minimum of the competing capacities — receiver CPU, both
+    hosts' PCI-X, sender CPU, the wire — and applies the window
+    limitation ``W_bytes / RTT_eff`` where the usable window follows the
+    truesize/SWS arithmetic of §3.5.1.  It reproduces curve *shapes*
+    cheaply; absolute accuracy is the DES's job.
+    """
+    if payload <= 0:
+        raise ProtocolError("payload must be positive")
+    costs = CostModel(spec, config, calibration)
+    mss = mss_for_mtu(config.mtu, config.tcp_timestamps)
+    sizes = _segment_sizes(payload, mss)
+    n_seg = len(sizes)
+    total_payload = payload
+
+    # per-write costs along each resource
+    def frame(s: int) -> int:
+        return costs.frame_bytes(s)
+
+    rx_cpu = sum(costs.rx_irq_s() + costs.rx_segment_s(s)
+                 + 0.5 * costs.rx_ack_gen_s() + costs.rx_wake_s()
+                 for s in sizes)
+    tx_cpu = costs.tx_syscall_s() + sum(costs.tx_segment_s(s) for s in sizes)
+    pci = sum(frame(s) * 8.0 / (spec.pcix_mhz * 1e6 * 64)
+              + -(-frame(s) // config.mmrbc) * BURST_OVERHEAD_S
+              for s in sizes)
+    wire = sum((frame(s) + ETH_OVERHEAD_WIRE) * 8.0 / wire_bps for s in sizes)
+    capacity = total_payload * 8.0 / max(rx_cpu, tx_cpu, pci, wire)
+
+    # window limitation: usable bytes in flight
+    from repro.oskernel.allocator import block_size_for
+    truesize = block_size_for(frame(sizes[0]))
+    usable_space = window_from_space(config.tcp_rmem)
+    advertised = sws_aligned(usable_space, mss + (config.mtu - mss - 40))
+    if advertised <= 0:
+        return 0.0
+    # bytes in flight quantized to whole write-sized segments
+    seg = sizes[0]
+    in_flight = max(1, advertised // seg) * seg
+    # sndbuf truesize limit
+    wmem_segments = max(1, config.tcp_wmem // truesize)
+    in_flight = min(in_flight, wmem_segments * seg)
+    service = max(rx_cpu, pci) / n_seg
+    rtt_eff = base_rtt_s + (in_flight / seg) * service * 0.5
+    window_limit = in_flight * 8.0 / rtt_eff
+
+    return min(capacity, window_limit)

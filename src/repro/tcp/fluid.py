@@ -1,0 +1,258 @@
+"""Fluid AIMD model of a single TCP flow over a bottleneck (for WAN runs).
+
+Packet-level simulation of an hour-long, 54-MB-window transatlantic flow
+is wasteful; the §4 dynamics (slow start, congestion avoidance, queue
+build-up at the OC-48, drop-tail loss, AIMD recovery) are faithfully
+captured by the classic fluid model iterated per RTT:
+
+* sending rate = W / RTT_eff, RTT_eff = base RTT + queue/C,
+* queue integrates (rate - C), loss when the queue exceeds its capacity,
+* W: x2 per RTT in slow start, +1 per RTT in avoidance, halved on loss,
+* W capped by the socket-buffer window (the paper's tuning instrument:
+  "we turn to the flow-control window to implicitly cap the
+  congestion-window size to the bandwidth-delay product").
+
+Arrays are preallocated and the loop is scalar-light, per the
+HPC-Python guidance; a 10,000-RTT run costs milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = ["FluidParams", "FluidResult", "simulate_fluid",
+           "MultiFlowResult", "simulate_fluid_multiflow"]
+
+
+@dataclass(frozen=True)
+class FluidParams:
+    """Inputs to the fluid model."""
+
+    bottleneck_bps: float       # payload rate of the bottleneck circuit
+    base_rtt_s: float           # propagation + fixed processing
+    mss: int                    # segment payload bytes
+    max_window_bytes: float     # socket-buffer cap on the window
+    queue_packets: int = 1024   # bottleneck drop-tail queue
+    initial_window_segments: float = 2.0
+    ssthresh_segments: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.bottleneck_bps <= 0 or self.base_rtt_s <= 0:
+            raise ProtocolError("bottleneck rate and RTT must be positive")
+        if self.mss <= 0:
+            raise ProtocolError("MSS must be positive")
+        if self.max_window_bytes <= 0:
+            raise ProtocolError("window cap must be positive")
+        if self.queue_packets < 1:
+            raise ProtocolError("queue must hold at least one packet")
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of the path."""
+        return self.bottleneck_bps * self.base_rtt_s / 8.0
+
+    @property
+    def bdp_segments(self) -> float:
+        """BDP in segments."""
+        return self.bdp_bytes / self.mss
+
+    @property
+    def capacity_pps(self) -> float:
+        """Bottleneck service rate in segments/s."""
+        return self.bottleneck_bps / (8.0 * self.mss)
+
+
+@dataclass(frozen=True)
+class FluidResult:
+    """Time series and aggregates of one fluid run."""
+
+    time_s: np.ndarray
+    window_segments: np.ndarray
+    queue_packets: np.ndarray
+    throughput_bps: np.ndarray
+    losses: int
+    mean_throughput_bps: float
+
+    @property
+    def mean_throughput_gbps(self) -> float:
+        """Average goodput in Gb/s."""
+        return self.mean_throughput_bps / 1e9
+
+    def bytes_transferred(self) -> float:
+        """Total payload moved during the run."""
+        if len(self.time_s) < 2:
+            return 0.0
+        dt = np.diff(self.time_s)
+        return float(np.dot(self.throughput_bps[:-1], dt) / 8.0)
+
+
+def simulate_fluid(params: FluidParams, duration_s: float,
+                   warmup_s: float = 0.0,
+                   force_loss_at_s: Optional[float] = None) -> FluidResult:
+    """Iterate the fluid model for ``duration_s``.
+
+    ``force_loss_at_s`` injects one loss event at the given time — the
+    Table 1 experiment (recovery from a single packet loss).
+    ``warmup_s`` excludes the slow-start ramp from the mean throughput.
+    """
+    if duration_s <= 0:
+        raise ProtocolError("duration must be positive")
+    cap_w = params.max_window_bytes / params.mss
+    c_pps = params.capacity_pps
+    q_cap = float(params.queue_packets)
+
+    # time steps of base_rtt / 4 keep queue dynamics smooth
+    max_steps = int(duration_s / (params.base_rtt_s / 4.0)) + 2
+    t = np.zeros(max_steps)
+    w = np.zeros(max_steps)
+    q = np.zeros(max_steps)
+    thr = np.zeros(max_steps)
+
+    w_now = min(params.initial_window_segments, cap_w)
+    q_now = 0.0
+    ssthresh = params.ssthresh_segments
+    losses = 0
+    forced_pending = force_loss_at_s is not None
+    now = 0.0
+    i = 0
+    while now < duration_s and i < max_steps:
+        rtt_eff = params.base_rtt_s + q_now / c_pps
+        dt = rtt_eff / 4.0
+        rate_pps = min(w_now / rtt_eff, 4.0 * c_pps)
+        # queue integrates the excess arrival
+        q_now = max(0.0, q_now + (rate_pps - c_pps) * dt)
+        served_pps = min(rate_pps, c_pps) if q_now <= 0 else c_pps
+        t[i] = now
+        w[i] = w_now
+        q[i] = min(q_now, q_cap)
+        thr[i] = served_pps * params.mss * 8.0
+
+        lost = q_now > q_cap
+        if forced_pending and now >= force_loss_at_s:
+            lost = True
+            forced_pending = False
+        if lost:
+            losses += 1
+            ssthresh = max(w_now / 2.0, 2.0)
+            w_now = ssthresh
+            q_now = min(q_now, q_cap)
+        else:
+            # growth per dt, scaled from per-RTT increments
+            frac = dt / rtt_eff
+            if w_now < ssthresh:
+                w_now += w_now * frac          # slow start: x2 per RTT
+            else:
+                w_now += 1.0 * frac            # avoidance: +1 per RTT
+            w_now = min(w_now, cap_w)
+        now += dt
+        i += 1
+
+    t, w, q, thr = t[:i], w[:i], q[:i], thr[:i]
+    mask = t >= warmup_s
+    mean = float(thr[mask].mean()) if mask.any() else float(thr.mean())
+    return FluidResult(time_s=t, window_segments=w, queue_packets=q,
+                       throughput_bps=thr, losses=losses,
+                       mean_throughput_bps=mean)
+
+
+@dataclass(frozen=True)
+class MultiFlowResult:
+    """Aggregates of an N-flow fluid run."""
+
+    n_flows: int
+    time_s: np.ndarray
+    windows_segments: np.ndarray        # shape (steps, n_flows)
+    aggregate_throughput_bps: np.ndarray
+    losses: int
+    mean_aggregate_bps: float
+    fairness: float                      # Jain's index over mean windows
+
+    @property
+    def mean_aggregate_gbps(self) -> float:
+        """Average aggregate goodput in Gb/s."""
+        return self.mean_aggregate_bps / 1e9
+
+
+def simulate_fluid_multiflow(params: FluidParams, n_flows: int,
+                             duration_s: float,
+                             warmup_s: float = 0.0,
+                             stagger_s: float = 0.5) -> MultiFlowResult:
+    """N parallel AIMD flows sharing the bottleneck (fluid model).
+
+    The Internet2 LSR had single- and multi-stream categories (the
+    paper's record "smashed both"); multi-stream transfers were the
+    practical workaround for Table 1's recovery times — each flow only
+    needs 1/N of the window, so a loss halves 1/N of the aggregate and
+    regrows N times faster.
+
+    ``max_window_bytes`` in ``params`` is the *per-flow* cap.
+    ``stagger_s`` desynchronises slow-start (flow *i* starts at
+    ``i * stagger_s``); a drop-tail loss hits the flow with the largest
+    window (the one overdriving the queue).
+    """
+    if n_flows < 1:
+        raise ProtocolError("need at least one flow")
+    if duration_s <= 0:
+        raise ProtocolError("duration must be positive")
+    cap_w = params.max_window_bytes / params.mss
+    c_pps = params.capacity_pps
+    q_cap = float(params.queue_packets)
+
+    dt_base = params.base_rtt_s / 4.0
+    max_steps = int(duration_s / dt_base) + 2
+    t = np.zeros(max_steps)
+    w = np.zeros((max_steps, n_flows))
+    agg = np.zeros(max_steps)
+
+    w_now = np.full(n_flows, float(params.initial_window_segments))
+    started = np.zeros(n_flows, dtype=bool)
+    ssthresh = np.full(n_flows, params.ssthresh_segments)
+    q_now = 0.0
+    losses = 0
+    now = 0.0
+    i = 0
+    while now < duration_s and i < max_steps:
+        started |= now >= stagger_s * np.arange(n_flows)
+        active = started
+        rtt_eff = params.base_rtt_s + q_now / c_pps
+        dt = rtt_eff / 4.0
+        rates = np.where(active, w_now / rtt_eff, 0.0)
+        total_rate = min(float(rates.sum()), 4.0 * c_pps)
+        q_now = max(0.0, q_now + (total_rate - c_pps) * dt)
+        served = min(total_rate, c_pps) if q_now <= 0 else c_pps
+        t[i] = now
+        w[i] = np.where(active, w_now, 0.0)
+        agg[i] = served * params.mss * 8.0
+
+        if q_now > q_cap:
+            losses += 1
+            victim = int(np.argmax(np.where(active, w_now, -1.0)))
+            ssthresh[victim] = max(w_now[victim] / 2.0, 2.0)
+            w_now[victim] = ssthresh[victim]
+            q_now = min(q_now, q_cap)
+        else:
+            frac = dt / rtt_eff
+            in_ss = w_now < ssthresh
+            grow = np.where(in_ss, w_now * frac, frac)
+            w_now = np.where(active, np.minimum(w_now + grow, cap_w),
+                             w_now)
+        now += dt
+        i += 1
+
+    t, w, agg = t[:i], w[:i], agg[:i]
+    mask = t >= warmup_s
+    mean_agg = float(agg[mask].mean()) if mask.any() else float(agg.mean())
+    mean_w = w[mask].mean(axis=0) if mask.any() else w.mean(axis=0)
+    denom = n_flows * float((mean_w ** 2).sum())
+    fairness = float(mean_w.sum() ** 2 / denom) if denom > 0 else 1.0
+    return MultiFlowResult(n_flows=n_flows, time_s=t,
+                           windows_segments=w,
+                           aggregate_throughput_bps=agg,
+                           losses=losses,
+                           mean_aggregate_bps=mean_agg,
+                           fairness=fairness)

@@ -1,0 +1,81 @@
+"""MSS arithmetic, including the receiver-estimate quirk of §3.5.1.
+
+Loosely speaking, MSS = MTU - packet headers (paper footnote 4).  Two
+subtleties the paper leans on:
+
+* TCP timestamps consume 12 option bytes from every segment, so the
+  *effective* sender MSS is ``mtu - 40 - 12`` with timestamps on; and
+* "the sender's MSS is not necessarily equal to the receiver's MSS":
+  the receiver *estimates* the peer MSS (for window alignment) from the
+  advertised value ``mtu - 40`` without accounting for options —
+  "apparently a result of how the receiver estimates the sender's MSS
+  and might well be an implementation bug".  The worked example in
+  §3.5.1 uses sender MSS 8960 vs receiver MSS 8948.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.oskernel.skbuff import IP_HEADER, TCP_HEADER, TCP_TIMESTAMP_OPT
+
+__all__ = ["mss_for_mtu", "advertised_mss", "MtuProfile"]
+
+
+def advertised_mss(mtu: int) -> int:
+    """The MSS a host advertises in its SYN: MTU minus bare IP+TCP."""
+    mss = mtu - IP_HEADER - TCP_HEADER
+    if mss <= 0:
+        raise ProtocolError(f"MTU {mtu} leaves no room for payload")
+    return mss
+
+
+def mss_for_mtu(mtu: int, timestamps: bool) -> int:
+    """The payload bytes a data segment actually carries."""
+    mss = advertised_mss(mtu) - (TCP_TIMESTAMP_OPT if timestamps else 0)
+    if mss <= 0:
+        raise ProtocolError(f"MTU {mtu} leaves no room for payload")
+    return mss
+
+
+@dataclass(frozen=True)
+class MtuProfile:
+    """The MSS view of one connection end.
+
+    Attributes
+    ----------
+    mtu:
+        Interface MTU.
+    timestamps:
+        Whether the timestamp option is in use.
+    mismatch_quirk:
+        When True (the Linux-2.4 behaviour the paper observed), the
+        window-alignment MSS is the peer's *advertised* value (no option
+        adjustment), producing the 8960-vs-8948 mismatch of §3.5.1.
+    """
+
+    mtu: int
+    timestamps: bool
+    mismatch_quirk: bool = True
+
+    @property
+    def effective_mss(self) -> int:
+        """Payload bytes per full segment sent by this end."""
+        return mss_for_mtu(self.mtu, self.timestamps)
+
+    @property
+    def advertised(self) -> int:
+        """MSS value this end advertises."""
+        return advertised_mss(self.mtu)
+
+    def alignment_mss(self, peer_advertised: int) -> int:
+        """The MSS this end uses for MSS-aligning its windows.
+
+        With the quirk, that is the peer's advertised MSS (too large by
+        the option bytes); without it, the true effective segment size.
+        """
+        if self.mismatch_quirk:
+            return min(peer_advertised, self.advertised)
+        return min(peer_advertised - (TCP_TIMESTAMP_OPT if self.timestamps else 0),
+                   self.effective_mss)

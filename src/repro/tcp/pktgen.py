@@ -1,0 +1,92 @@
+"""Linux kernel packet generator (§3.5.2).
+
+"The packet generator bypasses the TCP/IP and UDP/IP stacks entirely.
+It is a kernel-level loop that transmits pre-formed dummy UDP packets
+directly to the adapter (that is, it is single-copy).  We observe a
+maximum bandwidth of 5.5 Gb/s (8160-byte packets at approximately
+84,000 packets/sec) on the PE2650s."
+
+The model: a kernel loop that pays a fixed per-packet cost and then
+*synchronously* kicks the descriptor/DMA (the 2.4 pktgen spins on the
+transmit ring), so the loop and the DMA do not pipeline — exactly why
+pktgen lands at 5.5 Gb/s rather than at the PCI-X ceiling, and why the
+paper's "TCP is ~75% of pktgen" arithmetic works out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.hw.host import Host
+from repro.oskernel.skbuff import SkBuff
+from repro.sim.engine import Environment
+
+__all__ = ["PktgenResult", "pktgen_run"]
+
+#: UDP/IP headers on a pktgen frame.
+PKTGEN_HEADERS = 28
+
+
+@dataclass(frozen=True)
+class PktgenResult:
+    """Outcome of one pktgen run."""
+
+    packet_bytes: int
+    packets: int
+    elapsed_s: float
+    rate_bps: float
+    packets_per_sec: float
+
+    @property
+    def rate_gbps(self) -> float:
+        """Generator rate in Gb/s."""
+        return self.rate_bps / 1e9
+
+
+def pktgen_run(env: Environment, host: Host, dst_address: str,
+               packet_bytes: int = 8160, packets: int = 4096,
+               extra_cpu_load: float = 0.0) -> PktgenResult:
+    """Blast ``packets`` pre-formed frames at the adapter and measure.
+
+    ``packet_bytes`` is the IP-packet size (payload + UDP/IP headers).
+    ``extra_cpu_load`` (0..1) occupies the CPU with competing work — the
+    paper notes the 5.5 Gb/s rate "is maintained when additional load is
+    placed on the CPU", demonstrating the CPU is not the bottleneck;
+    pktgen runs in-kernel and is not preempted by user load.
+    """
+    if packet_bytes <= PKTGEN_HEADERS:
+        raise MeasurementError("packet too small for UDP/IP headers")
+    if packets < 1:
+        raise MeasurementError("need at least one packet")
+    if not 0.0 <= extra_cpu_load < 1.0:
+        raise MeasurementError("extra_cpu_load must be in [0, 1)")
+    nic = host.nic
+    loop_cost = host.costs.pktgen_loop_s()
+    times = {}
+
+    def loop():
+        times["start"] = env.now
+        payload = packet_bytes - PKTGEN_HEADERS
+        for i in range(packets):
+            # kernel loop cost (pktgen holds the CPU; competing load
+            # only stretches it when it preempts, which in-kernel
+            # pktgen largely avoids — modelled as a mild inflation).
+            yield env.timeout(loop_cost * (1.0 + 0.1 * extra_cpu_load))
+            skb = SkBuff(payload=payload, headers=PKTGEN_HEADERS,
+                         kind="raw", conn="pktgen",
+                         meta={"dst": dst_address})
+            # synchronous descriptor kick: wait for the DMA to finish
+            yield from nic.pcix.dma(skb.frame_bytes, host.config.mmrbc)
+            nic.egress.transmit(skb)
+        times["end"] = env.now
+
+    done = env.process(loop(), name="pktgen")
+    env.run(until=done)
+    elapsed = times["end"] - times["start"]
+    if elapsed <= 0:
+        raise MeasurementError("pktgen run too short to time")
+    total_bits = packets * packet_bytes * 8.0
+    return PktgenResult(packet_bytes=packet_bytes, packets=packets,
+                        elapsed_s=elapsed, rate_bps=total_bits / elapsed,
+                        packets_per_sec=packets / elapsed)

@@ -1,0 +1,200 @@
+"""TCP receiver endpoint (discrete-event).
+
+Implements the receive half the paper dissects in §3.5.1: truesize-
+charged socket buffering, the MSS-aligned advertised window with the
+adv_win_scale reservation, delayed ACKs (every second segment, with the
+Linux delayed-ACK timer as backstop), duplicate ACKs for out-of-order
+arrivals, and window-update ACKs when the reader drains enough space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.oskernel.skbuff import SkBuff, ip_tcp_header_bytes
+from repro.sim.engine import Environment
+from repro.sim.resources import Store
+from repro.tcp.mss import MtuProfile
+from repro.tcp.window import ReceiveWindow
+from repro.units import ms
+
+__all__ = ["TcpReceiver", "DELACK_TIMEOUT_S"]
+
+#: Linux 2.4 delayed-ACK timer (TCP_DELACK_MIN, HZ/25).
+DELACK_TIMEOUT_S = ms(40)
+
+
+class TcpReceiver:
+    """One direction's receive state machine."""
+
+    def __init__(self, env: Environment, host, nic, conn,
+                 src_address: str, profile: MtuProfile,
+                 peer_advertised_mss: int):
+        self.env = env
+        self.host = host
+        self.nic = nic
+        self.conn = conn
+        self.src_address = src_address
+        self.profile = profile
+        self.align_mss = profile.alignment_mss(peer_advertised_mss)
+        self.window = ReceiveWindow(
+            rmem=host.config.tcp_rmem,
+            align_mss=self.align_mss,
+            window_scaling=host.config.window_scaling)
+        self.rcv_nxt = 0
+        self._ooo: Dict[int, SkBuff] = {}
+        self._rxq = Store(env, name=f"{host.name}.tcp.rxq")
+        env.process(self._rx_loop(), name=f"{host.name}.tcp.rxloop")
+        self._unacked_segments = 0
+        self._delack_generation = 0
+        self._delack_armed = False
+        # statistics
+        self.segments_received = 0
+        self.duplicates = 0
+        self.bytes_delivered = 0
+        self.acks_sent = 0
+        self.window_updates = 0
+        self.first_data_time: Optional[float] = None
+        self.last_delivery_time: Optional[float] = None
+
+    # -- frame entry ---------------------------------------------------------
+    def on_data_frame(self, skb: SkBuff, batch: int = 1) -> None:
+        """A data segment arrived (called from interrupt dispatch).
+
+        Segments enter a per-connection queue drained by one processing
+        loop — in-order TCP processing even on hosts whose CPU complex
+        services several flows in parallel (Itanium-II)."""
+        self._rxq.put((skb, batch))
+
+    def _rx_loop(self):
+        while True:
+            skb, batch = yield self._rxq.get()
+            yield from self._process_data(skb, batch)
+
+    def _process_data(self, skb: SkBuff, batch: int):
+        host = self.host
+        yield from host.cpu_work(host.costs.rx_segment_s(skb.payload, batch))
+        self.segments_received += 1
+        if self.first_data_time is None:
+            self.first_data_time = self.env.now
+        out_of_order = False
+        if skb.end_seq <= self.rcv_nxt:
+            # pure duplicate (a spurious retransmission): drop, re-ack
+            self.duplicates += 1
+            yield from self._send_ack()
+            return
+        charged = host.costs.rx_truesize(skb)
+        skb.meta["charged"] = charged
+        if skb.seq == self.rcv_nxt:
+            self.window.charge(charged)
+            self._schedule_drain(skb)
+            self._advance(skb)
+        elif skb.seq > self.rcv_nxt:
+            if skb.seq not in self._ooo:
+                self.window.charge(charged)
+                self._ooo[skb.seq] = skb
+            out_of_order = True
+        else:
+            # partial overlap: treat as duplicate of the old part
+            self.duplicates += 1
+            out_of_order = True
+        self._unacked_segments += 1
+        # Linux quickacks while the window is constrained (fewer than
+        # four segments advertisable): a window-limited sender must not
+        # also wait on the delayed-ACK clock.
+        quickack = self.window.current < 4 * self.align_mss
+        if out_of_order or quickack or self._unacked_segments >= 2:
+            yield from self._send_ack()
+        else:
+            self._arm_delack()
+
+    def _advance(self, skb: SkBuff) -> None:
+        self.rcv_nxt = skb.end_seq
+        # pull any now-contiguous out-of-order segments
+        while self.rcv_nxt in self._ooo:
+            nxt = self._ooo.pop(self.rcv_nxt)
+            self._schedule_drain(nxt)
+            self.rcv_nxt = nxt.end_seq
+        self.window.rcv_nxt = self.rcv_nxt
+
+    # -- application drain ---------------------------------------------------------
+    def _schedule_drain(self, skb: SkBuff) -> None:
+        self.env.schedule_call(self.host.costs.drain_latency_s,
+                               self._start_drain, skb)
+
+    def _start_drain(self, skb: SkBuff) -> None:
+        self.env.process(self._drain(skb), name=f"{self.host.name}.tcp.drain")
+
+    def _drain(self, skb: SkBuff):
+        host = self.host
+        yield from host.cpu_work(host.costs.rx_wake_s())
+        self.window.uncharge(skb.meta.get("charged", skb.truesize))
+        self.bytes_delivered += skb.payload
+        self.last_delivery_time = self.env.now
+        host.trace.post(self.env.now, "tcp.rx.deliver", skb.ident,
+                        seq=skb.seq, len=skb.payload)
+        # Window-update ACKs only when the window reopens substantially
+        # (2 MSS, like tcp_new_space checks) — finer updates would turn
+        # every drained segment into an ACK.
+        if self.window.would_update(2):
+            self.window_updates += 1
+            yield from self._send_ack()
+
+    # -- ACK generation ---------------------------------------------------------
+    def _sack_blocks(self, limit: int = 4):
+        """RFC 2018 blocks from the out-of-order queue (merged,
+        most-recent-first capped at ``limit`` like real option space)."""
+        if not self._ooo:
+            return []
+        edges = sorted((skb.seq, skb.end_seq) for skb in self._ooo.values())
+        blocks = [list(edges[0])]
+        for start, end in edges[1:]:
+            if start <= blocks[-1][1]:
+                blocks[-1][1] = max(blocks[-1][1], end)
+            else:
+                blocks.append([start, end])
+        return [tuple(b) for b in blocks[-limit:]]
+
+    def _send_ack(self):
+        host = self.host
+        self._unacked_segments = 0
+        self._delack_generation += 1
+        self._delack_armed = False
+        yield from host.cpu_work(host.costs.rx_ack_gen_s())
+        win = self.window.advertise()
+        meta = {"dst": self.src_address, "win": win}
+        if host.config.sack and self._ooo:
+            meta["sack"] = self._sack_blocks()
+        ack = SkBuff(payload=0,
+                     headers=ip_tcp_header_bytes(host.config.tcp_timestamps),
+                     kind="ack", ack=self.rcv_nxt, conn=self.conn,
+                     meta=meta)
+        self.acks_sent += 1
+        self.nic.send(ack)
+        host.trace.post(self.env.now, "tcp.rx.ack", ack.ident,
+                        ack=self.rcv_nxt, win=win)
+
+    def _arm_delack(self) -> None:
+        if self._delack_armed:
+            return
+        self._delack_armed = True
+        generation = self._delack_generation
+        self.env.schedule_call(DELACK_TIMEOUT_S, self._on_delack, generation)
+
+    def _on_delack(self, generation: int) -> None:
+        if generation != self._delack_generation:
+            return
+        self._delack_armed = False
+        if self._unacked_segments > 0:
+            self.env.process(self._send_ack(),
+                             name=f"{self.host.name}.tcp.delack")
+
+    # -- reporting -------------------------------------------------------------
+    def goodput_bps(self) -> float:
+        """Delivered-payload rate between first arrival and last drain."""
+        if (self.first_data_time is None or self.last_delivery_time is None
+                or self.last_delivery_time <= self.first_data_time):
+            raise ProtocolError("no completed deliveries to report")
+        span = self.last_delivery_time - self.first_data_time
+        return self.bytes_delivered * 8.0 / span

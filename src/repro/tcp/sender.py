@@ -1,0 +1,266 @@
+"""TCP sender endpoint (discrete-event).
+
+Implements the transmit half of the paper's stack: write() syscalls that
+block on ``tcp_wmem`` (charged in truesize, like Linux), segmentation at
+the effective MSS (writes are flushed, not coalesced — the NTTCP/ttcp
+pattern), a packet-counted Reno congestion window, byte-counted receive
+window enforcement, RTT estimation, fast retransmit and RTO recovery.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Optional
+
+from repro.errors import ProtocolError
+from repro.oskernel.skbuff import SkBuff
+from repro.sim.engine import Environment, Event
+from repro.tcp.congestion import RenoCongestion
+from repro.tcp.mss import MtuProfile
+from repro.units import ms
+
+__all__ = ["TcpSender", "MIN_RTO_S"]
+
+#: Linux 2.4 minimum retransmission timeout (HZ/5).
+MIN_RTO_S = ms(200)
+
+#: Largest virtual segment handed to the adapter under TSO (64 KB).
+TSO_MAX_PAYLOAD = 65536 - 256
+
+
+class TcpSender:
+    """One direction's transmit state machine.
+
+    Driven by application processes calling :meth:`write` and by the
+    owning :class:`~repro.tcp.connection.TcpConnection` feeding ACKs into
+    :meth:`on_ack_frame`.
+    """
+
+    def __init__(self, env: Environment, host, nic, conn,
+                 dst_address: str, profile: MtuProfile,
+                 initial_rwnd: int):
+        self.env = env
+        self.host = host
+        self.nic = nic
+        self.conn = conn
+        self.dst_address = dst_address
+        self.profile = profile
+        self.mss = profile.effective_mss
+        self.headers = profile.mtu - profile.effective_mss  # IP+TCP+opts
+        self.wmem = host.config.tcp_wmem
+        self.tso = host.config.tso
+        self.cwnd = RenoCongestion(self.mss)
+        self.rwnd_bytes = initial_rwnd
+        # sequence state
+        self.snd_una = 0
+        self.snd_nxt = 0          # highest sequence handed to the NIC
+        self.queued_seq = 0       # highest sequence accepted from the app
+        self.sendq: Deque[SkBuff] = deque()
+        self.inflight: "OrderedDict[int, SkBuff]" = OrderedDict()
+        self.wmem_used = 0
+        self._writer_waits: Deque[Event] = deque()
+        self._pump_wait: Optional[Event] = None
+        self.recover_point = 0  # NewReno: highest seq sent when loss seen
+        # RTT estimation / RTO
+        self.srtt_s: Optional[float] = None
+        self.rttvar_s = 0.0
+        self.rto_s = MIN_RTO_S * 5
+        self._rto_generation = 0
+        self._rto_armed = False
+        # statistics
+        self.segments_sent = 0
+        self.retransmitted = 0
+        self.acks_received = 0
+        self.first_send_time: Optional[float] = None
+        self.last_ack_time: Optional[float] = None
+        self.closed = False
+        env.process(self._pump(), name=f"{host.name}.tcp.pump")
+
+    # -- application interface --------------------------------------------------
+    def write(self, nbytes: int):
+        """Process: queue ``nbytes`` of application data (blocking on
+        wmem).  Segments never span write boundaries."""
+        if nbytes <= 0:
+            raise ProtocolError(f"write of {nbytes} bytes")
+        yield from self.host.cpu_work(self.host.costs.tx_syscall_s())
+        max_seg = TSO_MAX_PAYLOAD if self.tso else self.mss
+        offset = 0
+        while offset < nbytes:
+            size = min(max_seg, nbytes - offset)
+            skb = SkBuff(payload=size, headers=self.headers,
+                         kind="data", seq=self.queued_seq,
+                         end_seq=self.queued_seq + size, conn=self.conn,
+                         meta={"dst": self.dst_address})
+            while self.wmem_used + skb.truesize > self.wmem:
+                ev = self.env.event()
+                self._writer_waits.append(ev)
+                yield ev
+            self.wmem_used += skb.truesize
+            self.queued_seq += size
+            self.sendq.append(skb)
+            offset += size
+            self._kick_pump()
+
+    @property
+    def bytes_in_flight(self) -> int:
+        """Unacknowledged bytes on the wire."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def all_acked(self) -> bool:
+        """True when everything written has been acknowledged."""
+        return not self.sendq and self.snd_una == self.queued_seq
+
+    # -- transmit pump -----------------------------------------------------------
+    def _can_send(self) -> bool:
+        if not self.sendq:
+            return False
+        if len(self.inflight) >= self.cwnd.cwnd_segments:
+            return False
+        head = self.sendq[0]
+        return self.bytes_in_flight + head.payload <= self.rwnd_bytes
+
+    def _kick_pump(self) -> None:
+        if self._pump_wait is not None and not self._pump_wait.triggered:
+            ev, self._pump_wait = self._pump_wait, None
+            ev.succeed()
+
+    def _pump(self):
+        env = self.env
+        costs = self.host.costs
+        while True:
+            while not self._can_send():
+                ev = env.event()
+                self._pump_wait = ev
+                yield ev
+            skb = self.sendq.popleft()
+            self.inflight[skb.seq] = skb
+            self.snd_nxt = max(self.snd_nxt, skb.end_seq)
+            yield from self.host.cpu_work(costs.tx_segment_s(skb.payload))
+            skb.sent_at = env.now
+            if self.first_send_time is None:
+                self.first_send_time = env.now
+            self.segments_sent += 1
+            yield self.nic.enqueue(skb)
+            self.host.trace.post(env.now, "tcp.tx.segment", skb.ident,
+                                 seq=skb.seq, len=skb.payload)
+            self._arm_rto()
+
+    # -- ACK path ---------------------------------------------------------------
+    def on_ack_frame(self, skb: SkBuff, batch: int = 1) -> None:
+        """An ACK arrived at this host (called from interrupt dispatch)."""
+        self.env.process(self._process_ack(skb),
+                         name=f"{self.host.name}.tcp.ack")
+
+    def _process_ack(self, skb: SkBuff):
+        yield from self.host.cpu_work(self.host.costs.tx_ack_rx_s())
+        self.acks_received += 1
+        new_window = skb.meta.get("win", self.rwnd_bytes)
+        window_changed = new_window != self.rwnd_bytes
+        self.rwnd_bytes = new_window
+        sack_blocks = skb.meta.get("sack")
+        if sack_blocks:
+            self._mark_sacked(sack_blocks)
+        ack = skb.ack
+        if ack > self.snd_una:
+            self._advance_una(ack)
+        elif (ack == self.snd_una and self.inflight
+              and not window_changed and skb.payload == 0):
+            if self.cwnd.on_dupack():
+                self.recover_point = self.snd_nxt
+                self._retransmit_head()
+        self._kick_pump()
+
+    def _advance_una(self, ack: int) -> None:
+        self.snd_una = ack
+        self.last_ack_time = self.env.now
+        acked_segments = 0
+        freed = 0
+        while self.inflight:
+            seq, head = next(iter(self.inflight.items()))
+            if head.end_seq > ack:
+                break
+            self.inflight.popitem(last=False)
+            acked_segments += 1
+            freed += head.truesize
+            if not head.meta.get("retransmit") and head.sent_at > 0:
+                self._update_rtt(self.env.now - head.sent_at)
+        self.cwnd.on_ack(acked_segments)
+        if self.cwnd.in_recovery:
+            if ack >= self.recover_point:
+                self.cwnd.exit_recovery()
+            elif self.inflight:
+                # NewReno partial ACK: the next hole is also lost
+                self._retransmit_head()
+        if freed:
+            self.wmem_used -= freed
+            while self._writer_waits:
+                self._writer_waits.popleft().succeed()
+        self._rto_generation += 1
+        if self.inflight or self.sendq:
+            self._arm_rto(force=True)
+        else:
+            self._rto_armed = False
+
+    # -- loss recovery ------------------------------------------------------------
+    def _mark_sacked(self, blocks) -> None:
+        """RFC 2018 scoreboard: segments covered by a SACK block are
+        not retransmitted."""
+        for skb in self.inflight.values():
+            if skb.meta.get("sacked"):
+                continue
+            for start, end in blocks:
+                if start <= skb.seq and skb.end_seq <= end:
+                    skb.meta["sacked"] = True
+                    break
+
+    def _retransmit_head(self) -> None:
+        head = None
+        for skb in self.inflight.values():
+            if not skb.meta.get("sacked"):
+                head = skb
+                break
+        if head is None:
+            return
+        clone = head.copy_for_retransmit()
+        clone.meta["dst"] = self.dst_address
+        self.retransmitted += 1
+        self.env.process(self._send_retransmit(clone),
+                         name=f"{self.host.name}.tcp.rexmit")
+
+    def _send_retransmit(self, skb: SkBuff):
+        yield from self.host.cpu_work(self.host.costs.tx_segment_s(skb.payload))
+        skb.sent_at = self.env.now
+        yield self.nic.enqueue(skb)
+        self.host.trace.post(self.env.now, "tcp.tx.retransmit", skb.ident,
+                             seq=skb.seq)
+
+    def _update_rtt(self, sample_s: float) -> None:
+        if self.srtt_s is None:
+            self.srtt_s = sample_s
+            self.rttvar_s = sample_s / 2.0
+        else:
+            delta = sample_s - self.srtt_s
+            self.srtt_s += delta / 8.0
+            self.rttvar_s += (abs(delta) - self.rttvar_s) / 4.0
+        self.rto_s = max(MIN_RTO_S, self.srtt_s + 4.0 * self.rttvar_s)
+
+    def _arm_rto(self, force: bool = False) -> None:
+        if self._rto_armed and not force:
+            return
+        self._rto_armed = True
+        self._rto_generation += 1
+        generation = self._rto_generation
+        self.env.schedule_call(self.rto_s, self._on_rto, generation)
+
+    def _on_rto(self, generation: int) -> None:
+        if generation != self._rto_generation or self.closed:
+            return
+        if not self.inflight:
+            self._rto_armed = False
+            return
+        self.cwnd.on_timeout()
+        self.recover_point = self.snd_nxt
+        self.rto_s = min(self.rto_s * 2.0, 60.0)
+        self._retransmit_head()
+        self._arm_rto(force=True)

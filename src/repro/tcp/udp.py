@@ -1,0 +1,112 @@
+"""UDP: unreliable datagram endpoints.
+
+Used by the multi-flow aggregation experiments as an open-loop traffic
+source (and as the substrate the packet generator's frames notionally
+belong to).  No windows, no ACKs — datagrams that overflow a queue are
+simply lost, which makes UDP the cleanest probe of raw path capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MeasurementError, ProtocolError
+from repro.hw.host import Host
+from repro.oskernel.skbuff import SkBuff
+from repro.sim.engine import Environment
+
+__all__ = ["UdpSender", "UdpSink", "UDP_HEADERS"]
+
+#: IP + UDP header bytes.
+UDP_HEADERS = 28
+
+
+class UdpSink:
+    """Counts datagrams delivered to a host for one flow."""
+
+    def __init__(self, env: Environment, host: Host, conn):
+        self.env = env
+        self.host = host
+        self.conn = conn
+        self.bytes_received = 0
+        self.datagrams = 0
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+        host.register_handler(conn, self._on_frame)
+
+    def _on_frame(self, skb: SkBuff, batch: int) -> None:
+        self.env.process(self._process(skb, batch),
+                         name=f"{self.host.name}.udp.rx")
+
+    def _process(self, skb: SkBuff, batch: int):
+        host = self.host
+        yield from host.cpu_work(host.costs.rx_segment_s(skb.payload, batch))
+        if self.first_time is None:
+            self.first_time = self.env.now
+        self.last_time = self.env.now
+        self.bytes_received += skb.payload
+        self.datagrams += 1
+
+    def goodput_bps(self) -> float:
+        """Received-payload rate over the observation span."""
+        if (self.first_time is None or self.last_time is None
+                or self.last_time <= self.first_time):
+            raise MeasurementError("UDP sink saw too little traffic")
+        return self.bytes_received * 8.0 / (self.last_time - self.first_time)
+
+
+class UdpSender:
+    """Open-loop datagram source at a fixed offered rate."""
+
+    def __init__(self, env: Environment, host: Host, dst_address: str,
+                 conn, datagram_bytes: int, offered_bps: float):
+        if datagram_bytes <= 0:
+            raise ProtocolError("datagram size must be positive")
+        if offered_bps <= 0:
+            raise ProtocolError("offered rate must be positive")
+        max_payload = host.config.mtu - UDP_HEADERS
+        if datagram_bytes > max_payload:
+            raise ProtocolError(
+                f"datagram of {datagram_bytes} exceeds MTU payload "
+                f"{max_payload} (no IP fragmentation modelled)")
+        self.env = env
+        self.host = host
+        self.dst_address = dst_address
+        self.conn = conn
+        self.datagram_bytes = datagram_bytes
+        self.interval_s = datagram_bytes * 8.0 / offered_bps
+        self.sent = 0
+        self.local_drops = 0
+        self._stop = False
+
+    def start(self, count: Optional[int] = None):
+        """Begin sending; returns the driving process."""
+        return self.env.process(self._run(count),
+                                name=f"{self.host.name}.udp.tx")
+
+    def stop(self) -> None:
+        """Cease after the current datagram."""
+        self._stop = True
+
+    def _run(self, count: Optional[int]):
+        host = self.host
+        nic = host.nic
+        sent = 0
+        next_time = self.env.now
+        while not self._stop and (count is None or sent < count):
+            # absolute-time pacing: CPU processing overlaps the interval
+            next_time += self.interval_s
+            gap = next_time - self.env.now
+            if gap > 0:
+                yield self.env.timeout(gap)
+            yield from host.cpu_work(
+                host.costs.tx_segment_s(self.datagram_bytes))
+            skb = SkBuff(payload=self.datagram_bytes, headers=UDP_HEADERS,
+                         kind="udp", conn=self.conn,
+                         meta={"dst": self.dst_address})
+            if not nic.send(skb):
+                self.local_drops += 1
+            else:
+                self.sent += 1
+            sent += 1

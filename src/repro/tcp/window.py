@@ -1,0 +1,164 @@
+"""TCP window arithmetic: SWS avoidance, scaling, truesize accounting.
+
+This module implements the mechanisms §3.5.1 of the paper analyses:
+
+* Linux keeps the advertised window **MSS-aligned** (SWS avoidance,
+  RFC 813): ``advertised = (available // MSS) * MSS`` — footnote 6.
+* The advertisable space is a *fraction* of the socket buffer
+  (``tcp_adv_win_scale``: win = space - space/4), the rest absorbing
+  sk_buff overhead.
+* Socket memory is charged in **truesize** (power-of-two blocks), so a
+  9000-byte MTU burns 16 KB of window budget per 9 KB segment — the
+  hidden cost behind the stock-configuration dips of Fig. 3.
+* With window scaling, the advertised value loses precision: the wire
+  field is ``win >> wscale`` — "the accuracy of the window diminishes as
+  the scaling factor increases".
+* The advertised right edge never retreats (a TCP MUST).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+__all__ = ["sws_aligned", "window_from_space", "window_scale_for",
+           "wire_window", "ReceiveWindow", "ADV_WIN_SCALE",
+           "MAX_UNSCALED_WINDOW", "MAX_WSCALE"]
+
+#: Linux tcp_adv_win_scale default: win = space - space/2**2 = 3/4 space.
+ADV_WIN_SCALE = 2
+
+#: The 16-bit window field.
+MAX_UNSCALED_WINDOW = 65535
+
+#: RFC 1323 cap.
+MAX_WSCALE = 14
+
+
+def sws_aligned(available: int, mss: int) -> int:
+    """MSS-aligned advertised window (SWS avoidance, paper footnote 6)."""
+    if mss <= 0:
+        raise ProtocolError(f"MSS must be positive, got {mss}")
+    if available < 0:
+        return 0
+    return (available // mss) * mss
+
+
+def window_from_space(space: int, adv_win_scale: int = ADV_WIN_SCALE) -> int:
+    """Usable window from free socket-buffer space (Linux
+    ``tcp_win_from_space``): reserve 1/2**scale for overhead."""
+    if space <= 0:
+        return 0
+    return space - (space >> adv_win_scale)
+
+
+def window_scale_for(rmem: int) -> int:
+    """The window-scale shift a host negotiates for an ``rmem``-byte
+    receive buffer.
+
+    Follows ``tcp_select_initial_window``: the shift makes the *usable*
+    window (after the adv_win_scale reservation) representable in the
+    16-bit field, so a 64 KB buffer (48 KB usable) negotiates shift 0.
+    """
+    space = window_from_space(rmem)
+    wscale = 0
+    while space > MAX_UNSCALED_WINDOW and wscale < MAX_WSCALE:
+        space >>= 1
+        wscale += 1
+    return wscale
+
+
+def wire_window(window: int, wscale: int) -> int:
+    """The window value after the wire round-trip: ``(w >> s) << s``.
+
+    Scaling truncates low bits, the precision loss §3.5.1 warns about.
+    """
+    if wscale < 0 or wscale > MAX_WSCALE:
+        raise ProtocolError(f"window scale {wscale} out of range")
+    return (min(window, MAX_UNSCALED_WINDOW << wscale) >> wscale) << wscale
+
+
+class ReceiveWindow:
+    """The receive-side window state machine.
+
+    Tracks socket-buffer occupancy in truesize bytes and produces the
+    MSS-aligned, scaled, never-retreating advertised window.
+
+    Parameters
+    ----------
+    rmem:
+        Receive socket buffer (``tcp_rmem`` max).
+    align_mss:
+        The MSS used for SWS alignment (see
+        :meth:`repro.tcp.mss.MtuProfile.alignment_mss`).
+    window_scaling:
+        Whether RFC 1323 scaling was negotiated.
+    """
+
+    def __init__(self, rmem: int, align_mss: int,
+                 window_scaling: bool = True,
+                 adv_win_scale: int = ADV_WIN_SCALE):
+        if rmem <= 0:
+            raise ProtocolError("rmem must be positive")
+        if align_mss <= 0:
+            raise ProtocolError("alignment MSS must be positive")
+        self.rmem = rmem
+        self.align_mss = align_mss
+        self.adv_win_scale = adv_win_scale
+        self.wscale = window_scale_for(rmem) if window_scaling else 0
+        self.queued_truesize = 0
+        self.rcv_nxt = 0
+        self._adv_right = 0  # highest advertised right edge
+        self.advertise()     # initial window
+
+    # -- occupancy -------------------------------------------------------------
+    def charge(self, truesize: int) -> None:
+        """A segment entered the socket buffer."""
+        if truesize < 0:
+            raise ProtocolError("negative truesize")
+        self.queued_truesize += truesize
+
+    def uncharge(self, truesize: int) -> None:
+        """A segment was consumed by the application."""
+        self.queued_truesize -= truesize
+        if self.queued_truesize < 0:
+            raise ProtocolError("receive-buffer accounting underflow")
+
+    @property
+    def free_space(self) -> int:
+        """Uncommitted socket-buffer bytes (truesize basis)."""
+        return max(0, self.rmem - self.queued_truesize)
+
+    # -- advertisement -------------------------------------------------------------
+    def advertise(self) -> int:
+        """Compute the window to advertise *now* (and remember the edge).
+
+        Applies, in order: the adv_win_scale reservation, the 16-bit /
+        wscale representability cap, MSS alignment, never-retreat, and
+        wire precision truncation.
+        """
+        usable = window_from_space(self.free_space, self.adv_win_scale)
+        usable = min(usable, MAX_UNSCALED_WINDOW << self.wscale)
+        aligned = sws_aligned(usable, self.align_mss)
+        right = self.rcv_nxt + aligned
+        if right < self._adv_right:
+            # cannot shrink: keep the promised edge
+            right = self._adv_right
+        window = right - self.rcv_nxt
+        window = wire_window(window, self.wscale)
+        self._adv_right = self.rcv_nxt + window
+        return window
+
+    @property
+    def current(self) -> int:
+        """The last advertised window (right edge minus rcv_nxt)."""
+        return max(0, self._adv_right - self.rcv_nxt)
+
+    def would_update(self, threshold_mss: int = 1) -> bool:
+        """True when a fresh advertisement would open the window by at
+        least ``threshold_mss`` segments — the condition for sending a
+        window-update ACK."""
+        usable = window_from_space(self.free_space, self.adv_win_scale)
+        usable = min(usable, MAX_UNSCALED_WINDOW << self.wscale)
+        aligned = sws_aligned(usable, self.align_mss)
+        new_right = self.rcv_nxt + wire_window(aligned, self.wscale)
+        return new_right - self._adv_right >= threshold_mss * self.align_mss

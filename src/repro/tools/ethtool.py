@@ -1,0 +1,114 @@
+"""ethtool-style adapter configuration (the driver half of the recipe).
+
+The paper's tuning recipe splits between ``/proc/sys`` (covered by
+:mod:`repro.oskernel.sysctl`) and driver/adapter controls — interrupt
+coalescing, offloads, the MMRBC register — which administrators set with
+``ethtool``/``setpci``.  :class:`Ethtool` mirrors that interface so the
+full §3.3 recipe can be written the way an operator would type it.
+
+    >>> et = Ethtool()
+    >>> et.run("ethtool -C eth1 rx-usecs 0")
+    >>> et.run("ethtool -K eth1 tso on")
+    >>> et.run("setpci -d 8086:1048 e6.b=2e")   # MMRBC -> 4096
+    >>> cfg = et.apply(TuningConfig.stock(9000))
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Any, Dict
+
+from repro.config import TuningConfig
+from repro.errors import ConfigError
+
+__all__ = ["Ethtool"]
+
+#: MMRBC field encoding in the PCI-X command register (bits 2-3 of the
+#: byte at 0xe6 for the 82597EX): 0->512, 1->1024, 2->2048, 3->4096.
+_MMRBC_BY_FIELD = {0: 512, 1: 1024, 2: 2048, 3: 4096}
+
+_OFFLOAD_FLAGS = {
+    "tso": "tso",
+    "rx": "checksum_offload",   # rx checksumming
+    "sack": "sack",             # convenience alias (really a sysctl)
+}
+
+
+class Ethtool:
+    """Accumulates ethtool/setpci commands; folds them into a config."""
+
+    def __init__(self) -> None:
+        self._changes: Dict[str, Any] = {}
+        self.history: list = []
+
+    # -- command-line front end ------------------------------------------------
+    def run(self, command: str) -> None:
+        """Parse and stage one ``ethtool ...`` or ``setpci ...`` line."""
+        parts = shlex.split(command)
+        if not parts:
+            raise ConfigError("empty command")
+        tool = parts[0]
+        if tool == "ethtool":
+            self._run_ethtool(parts[1:])
+        elif tool == "setpci":
+            self._run_setpci(parts[1:])
+        else:
+            raise ConfigError(f"unknown tool {tool!r}; expected "
+                              "'ethtool' or 'setpci'")
+        self.history.append(command)
+
+    def _run_ethtool(self, args) -> None:
+        if len(args) < 2:
+            raise ConfigError("ethtool needs a mode flag and a device")
+        mode = args[0]
+        if mode == "-C":  # coalescing
+            params = args[2:]
+            if len(params) % 2 != 0 or not params:
+                raise ConfigError("ethtool -C takes key/value pairs")
+            for key, value in zip(params[::2], params[1::2]):
+                if key == "rx-usecs":
+                    self._changes["interrupt_coalescing_us"] = float(value)
+                elif key == "adaptive-rx":
+                    self._changes["adaptive_coalescing"] = \
+                        self._parse_onoff(value)
+                else:
+                    raise ConfigError(f"unsupported coalescing key {key!r}")
+        elif mode == "-K":  # offloads
+            params = args[2:]
+            if len(params) % 2 != 0 or not params:
+                raise ConfigError("ethtool -K takes flag on/off pairs")
+            for flag, value in zip(params[::2], params[1::2]):
+                field = _OFFLOAD_FLAGS.get(flag)
+                if field is None:
+                    raise ConfigError(f"unsupported offload flag {flag!r}")
+                self._changes[field] = self._parse_onoff(value)
+        else:
+            raise ConfigError(f"unsupported ethtool mode {mode!r}")
+
+    def _run_setpci(self, args) -> None:
+        # accept: setpci [-d vendor:device] e6.b=<hex>
+        assignment = args[-1]
+        if "=" not in assignment or not assignment.startswith("e6.b"):
+            raise ConfigError(
+                "only the MMRBC register (e6.b=<hex>) is modelled")
+        try:
+            raw = int(assignment.split("=", 1)[1], 16)
+        except ValueError as exc:
+            raise ConfigError(f"bad register value in {assignment!r}") from exc
+        field = (raw >> 2) & 0x3
+        self._changes["mmrbc"] = _MMRBC_BY_FIELD[field]
+
+    @staticmethod
+    def _parse_onoff(value: str) -> bool:
+        if value == "on":
+            return True
+        if value == "off":
+            return False
+        raise ConfigError(f"expected on/off, got {value!r}")
+
+    # -- application -----------------------------------------------------------
+    def apply(self, config: TuningConfig) -> TuningConfig:
+        """``config`` with every staged change applied (validated)."""
+        if not self._changes:
+            return config
+        return config.replace(**self._changes)

@@ -1,0 +1,111 @@
+"""netperf: the third throughput tool §3.2 name-checks.
+
+"We use two tools to measure network throughput — NTTCP and Iperf —
+and note that the experimental results from these two tools correspond
+to another oft-used tool called netperf."
+
+The simulated netperf offers its two classic tests:
+
+* ``TCP_STREAM`` — bulk throughput over a timed window (equivalent to
+  Iperf here, and the correspondence is asserted by a test), and
+* ``TCP_RR`` — request/response transactions per second, the
+  latency-facing metric (1/RTT for 1-byte transactions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.sim.engine import Environment
+from repro.tcp.connection import TcpConnection
+from repro.tools.iperf import iperf_run
+from repro.tools.netpipe import netpipe_latency
+
+__all__ = ["NetperfStreamResult", "NetperfRRResult",
+           "netperf_tcp_stream", "netperf_tcp_rr"]
+
+
+@dataclass(frozen=True)
+class NetperfStreamResult:
+    """TCP_STREAM outcome."""
+
+    duration_s: float
+    throughput_bps: float
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Throughput in Gb/s."""
+        return self.throughput_bps / 1e9
+
+
+@dataclass(frozen=True)
+class NetperfRRResult:
+    """TCP_RR outcome."""
+
+    request_bytes: int
+    response_bytes: int
+    transactions_per_sec: float
+
+    @property
+    def mean_rtt_s(self) -> float:
+        """Mean transaction round-trip time."""
+        return 1.0 / self.transactions_per_sec
+
+
+def netperf_tcp_stream(env: Environment, conn: TcpConnection,
+                       duration_s: float = 0.01,
+                       send_size: int = 65536) -> NetperfStreamResult:
+    """Bulk-throughput test (TCP_STREAM)."""
+    result = iperf_run(env, conn, duration_s=duration_s,
+                       write_size=send_size, warmup_s=duration_s / 2)
+    return NetperfStreamResult(duration_s=result.duration_s,
+                               throughput_bps=result.goodput_bps)
+
+
+def netperf_tcp_rr(env: Environment, forward: TcpConnection,
+                   backward: TcpConnection,
+                   request_bytes: int = 1, response_bytes: int = 1,
+                   transactions: int = 8) -> NetperfRRResult:
+    """Request/response test (TCP_RR).
+
+    Uses the same ping-pong machinery as NetPipe; for asymmetric
+    request/response sizes the two directions carry different payloads.
+    """
+    if request_bytes <= 0 or response_bytes <= 0:
+        raise MeasurementError("request and response sizes must be positive")
+    if transactions < 1:
+        raise MeasurementError("need at least one transaction")
+    if request_bytes == response_bytes:
+        result = netpipe_latency(env, forward, backward,
+                                 payload=request_bytes,
+                                 iterations=transactions)
+        return NetperfRRResult(request_bytes=request_bytes,
+                               response_bytes=response_bytes,
+                               transactions_per_sec=1.0 / result.rtt_s)
+
+    rtts = []
+
+    def requester():
+        for _ in range(transactions):
+            target = backward.receiver.bytes_delivered + response_bytes
+            t0 = env.now
+            yield from forward.write(request_bytes)
+            yield from backward.wait_delivered(target, poll_s=2e-7)
+            rtts.append(env.now - t0)
+
+    def responder():
+        seen = 0
+        for _ in range(transactions):
+            seen += request_bytes
+            yield from forward.wait_delivered(seen, poll_s=2e-7)
+            yield from backward.write(response_bytes)
+
+    env.process(responder(), name="netperf.rr.resp")
+    done = env.process(requester(), name="netperf.rr.req")
+    env.run(until=done)
+    steady = rtts[1:] if len(rtts) > 1 else rtts
+    mean_rtt = sum(steady) / len(steady)
+    return NetperfRRResult(request_bytes=request_bytes,
+                           response_bytes=response_bytes,
+                           transactions_per_sec=1.0 / mean_rtt)

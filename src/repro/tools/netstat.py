@@ -1,0 +1,82 @@
+"""netstat-style counter snapshots for hosts and connections.
+
+The paper's debugging loop leans on kernel counters (``netstat -s``
+style) alongside tcpdump and MAGNET.  :func:`snapshot_host` and
+:func:`snapshot_connection` collect the simulator's equivalents into
+flat dictionaries suitable for tables, assertions and diffing across a
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.hw.host import Host
+from repro.tcp.connection import TcpConnection
+
+__all__ = ["snapshot_host", "snapshot_connection", "diff_snapshots"]
+
+
+def snapshot_host(host: Host) -> Dict[str, Any]:
+    """Kernel/driver counters for one host."""
+    snap: Dict[str, Any] = {
+        "host": host.name,
+        "cpu_load": round(host.cpu.load(), 4),
+        "pcix_utilization": round(host.pcix.utilization(), 4),
+        "pcix_bytes": host.pcix.bytes_moved,
+        "alloc_live": host.allocator.stats.live,
+        "alloc_total": host.allocator.stats.allocations,
+    }
+    for adapter in host.adapters:
+        prefix = adapter.name
+        snap[f"{prefix}.tx_frames"] = int(adapter.tx_frames.total)
+        snap[f"{prefix}.rx_frames"] = int(adapter.rx_frames.total)
+        snap[f"{prefix}.interrupts"] = int(adapter.interrupts.total)
+        snap[f"{prefix}.tx_drops"] = int(adapter.tx_drops.total)
+        snap[f"{prefix}.rx_drops"] = int(adapter.rx_drops.total)
+        snap[f"{prefix}.txq_depth"] = adapter.txq.level
+    return snap
+
+
+def snapshot_connection(conn: TcpConnection) -> Dict[str, Any]:
+    """TCP state/counters for one connection (``ss -i`` style)."""
+    sender, receiver = conn.sender, conn.receiver
+    return {
+        "connection": conn.name,
+        "mss": conn.mss,
+        "snd_una": sender.snd_una,
+        "snd_nxt": sender.snd_nxt,
+        "bytes_in_flight": sender.bytes_in_flight,
+        "cwnd_segments": sender.cwnd.cwnd_segments,
+        "ssthresh": sender.cwnd.ssthresh,
+        "rwnd_bytes": sender.rwnd_bytes,
+        "srtt_us": (round(sender.srtt_s * 1e6, 1)
+                    if sender.srtt_s is not None else None),
+        "rto_ms": round(sender.rto_s * 1e3, 1),
+        "segments_sent": sender.segments_sent,
+        "retransmitted": sender.retransmitted,
+        "fast_retransmits": sender.cwnd.fast_retransmits,
+        "timeouts": sender.cwnd.timeouts,
+        "acks_received": sender.acks_received,
+        "rcv_nxt": receiver.rcv_nxt,
+        "bytes_delivered": receiver.bytes_delivered,
+        "out_of_order_held": len(receiver._ooo),
+        "duplicates": receiver.duplicates,
+        "acks_sent": receiver.acks_sent,
+        "window_updates": receiver.window_updates,
+        "advertised_window": receiver.window.current,
+    }
+
+
+def diff_snapshots(before: Dict[str, Any],
+                   after: Dict[str, Any]) -> Dict[str, Any]:
+    """Numeric deltas between two snapshots (non-numeric keys kept from
+    ``after``)."""
+    out: Dict[str, Any] = {}
+    for key, new in after.items():
+        old = before.get(key)
+        if isinstance(new, (int, float)) and isinstance(old, (int, float)):
+            out[key] = new - old
+        else:
+            out[key] = new
+    return out

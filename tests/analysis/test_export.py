@@ -1,0 +1,80 @@
+"""Tests for CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    figure_to_csv,
+    rows_to_csv,
+    rows_to_json,
+    sweep_to_rows,
+)
+from repro.analysis.figures import Figure, Series
+from repro.errors import MeasurementError
+
+
+def make_figure():
+    fig = Figure(title="F", xlabel="payload", ylabel="gbps")
+    fig.add(Series("a", [1, 2], [0.5, 1.0]))
+    fig.add(Series("b", [1, 2], [0.7, 1.4]))
+    return fig
+
+
+def test_figure_to_csv_long_format():
+    text = figure_to_csv(make_figure())
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["series", "payload", "gbps"]
+    assert len(rows) == 5
+    assert rows[1] == ["a", "1", "0.5"]
+
+
+def test_figure_to_csv_writes_file(tmp_path):
+    path = tmp_path / "fig.csv"
+    figure_to_csv(make_figure(), path)
+    assert path.read_text().startswith("series,payload,gbps")
+
+
+def test_empty_figure_rejected():
+    with pytest.raises(MeasurementError):
+        figure_to_csv(Figure("F", "x", "y"))
+
+
+def test_rows_to_csv_and_column_selection():
+    rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+    text = rows_to_csv(rows, columns=["b"])
+    parsed = list(csv.reader(io.StringIO(text)))
+    assert parsed[0] == ["b"]
+    assert parsed[1] == ["2"]
+
+
+def test_rows_to_json_roundtrip(tmp_path):
+    rows = [{"x": 1.5, "label": "p"}]
+    path = tmp_path / "rows.json"
+    rows_to_json(rows, path)
+    assert json.loads(path.read_text()) == [{"x": 1.5, "label": "p"}]
+
+
+def test_empty_rows_rejected():
+    with pytest.raises(MeasurementError):
+        rows_to_csv([])
+    with pytest.raises(MeasurementError):
+        rows_to_json([])
+
+
+def test_sweep_to_rows():
+    from repro.config import TuningConfig
+    from repro.core.casestudy import CaseStudy
+
+    study = CaseStudy(write_count=128, points=4)
+    curve = study.sweep(TuningConfig.oversized_windows(9000),
+                        payloads=(4474, 8948))
+    rows = sweep_to_rows(curve)
+    assert len(rows) == 2
+    assert rows[0]["payload"] == 4474
+    assert rows[0]["goodput_gbps"] > 0
+    # exports cleanly
+    text = rows_to_csv(rows)
+    assert "goodput_gbps" in text

@@ -1,0 +1,63 @@
+"""Tests for the DES-vs-analytic cross-validation."""
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationPoint,
+    ValidationReport,
+    cross_validate,
+)
+from repro.config import TuningConfig
+from repro.errors import MeasurementError
+
+
+@pytest.fixture(scope="module")
+def report():
+    return cross_validate(count=256)
+
+
+def test_rank_agreement(report):
+    """The engines must order the configurations identically — the
+    property the fast full-resolution figures rely on."""
+    assert report.rank_agreement()
+
+
+def test_errors_bounded(report):
+    assert report.mean_error() < 0.20
+    assert report.max_error() < 0.50
+
+
+def test_rows_complete(report):
+    rows = report.rows()
+    assert len(rows) == 5
+    assert all(r["DES Gb/s"] > 0 and r["analytic Gb/s"] > 0 for r in rows)
+
+
+def test_tuned_configs_agree_tightly(report):
+    """Where the CPU capacity binds (tuned configs), the analytic model
+    should track the DES within a few percent."""
+    tuned = [p for p in report.points if "256kbuf" in p.label]
+    assert tuned
+    for p in tuned:
+        assert p.abs_error < 0.08, p.label
+
+
+def test_custom_config_subset():
+    rep = cross_validate(configs=(TuningConfig.fully_tuned(9000),),
+                         count=128)
+    assert len(rep.points) == 1
+
+
+def test_empty_report_raises():
+    rep = ValidationReport(points=[])
+    with pytest.raises(MeasurementError):
+        rep.max_error()
+    with pytest.raises(MeasurementError):
+        rep.mean_error()
+
+
+def test_point_derived_metrics():
+    p = ValidationPoint(label="x", payload=1, des_bps=2e9,
+                        analytic_bps=1e9)
+    assert p.ratio == 0.5
+    assert p.abs_error == 0.5

@@ -1,0 +1,70 @@
+"""Tests for the tuning advisor."""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.errors import ConfigError
+from repro.core.advisor import TuningAdvisor
+from repro.hw.presets import INTEL_E7505, PE2650
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def advice():
+    return TuningAdvisor(PE2650).advise("lan-throughput")
+
+
+def test_lan_throughput_reaches_the_papers_config(advice):
+    cfg = advice.config
+    assert cfg.mmrbc == 4096
+    assert cfg.smp_kernel is False
+    assert cfg.tcp_rmem == KB(256)
+    assert cfg.mtu in (8160, 16000)
+    assert advice.predicted_gbps > 3.8
+
+
+def test_every_accepted_step_improves(advice):
+    last = None
+    for step in advice.steps:
+        if step.accepted:
+            if last is not None:
+                assert step.predicted_gbps > last
+            last = step.predicted_gbps
+
+
+def test_explain_is_readable(advice):
+    text = advice.explain()
+    assert "recommended:" in text
+    assert "§3.3" in text or "3.3" in text
+    assert text.count("\n") >= 3
+
+
+def test_lan_latency_disables_coalescing():
+    advice = TuningAdvisor(PE2650).advise("lan-latency")
+    assert advice.config.interrupt_coalescing_us == 0.0
+    assert advice.config.mtu == 1500
+
+
+def test_wan_recipe_shape():
+    advice = TuningAdvisor(PE2650).advise("wan-throughput")
+    assert advice.config.txqueuelen == 10000
+    assert advice.config.mtu == 9000
+    assert advice.config.window_scaling
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigError):
+        TuningAdvisor(PE2650).advise("quantum")
+
+
+def test_custom_start_config_respected():
+    start = TuningConfig.stock(1500)
+    advice = TuningAdvisor(PE2650).advise("lan-throughput", start=start)
+    # the advisor should still discover the jumbo/allocator move
+    assert advice.config.mtu >= 8160
+
+
+def test_platform_sensitivity():
+    pe = TuningAdvisor(PE2650).advise("lan-throughput")
+    e7505 = TuningAdvisor(INTEL_E7505).advise("lan-throughput")
+    assert e7505.predicted_gbps > pe.predicted_gbps  # faster FSB wins

@@ -1,0 +1,60 @@
+"""Tests for the knob registry and the optimization ladder."""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.errors import ConfigError
+from repro.core.knobs import KNOBS, knob
+from repro.core.optimizations import LAN_OPTIMIZATION_LADDER
+from repro.units import KB
+
+
+def test_every_paper_knob_registered():
+    expected = {"mtu", "mmrbc", "smp_kernel", "tcp_rmem", "tcp_wmem",
+                "interrupt_coalescing_us", "tcp_timestamps",
+                "window_scaling", "txqueuelen", "tso", "napi",
+                "checksum_offload"}
+    assert expected <= set(KNOBS)
+
+
+def test_knobs_document_paper_sections():
+    for k in KNOBS.values():
+        assert k.paper_section
+        assert len(k.description) > 20
+
+
+def test_knob_apply_produces_validated_config():
+    cfg = knob("mtu").apply(TuningConfig.stock(), 9000)
+    assert cfg.mtu == 9000
+    with pytest.raises(ConfigError):
+        knob("mmrbc").apply(TuningConfig.stock(), 777)
+
+
+def test_unknown_knob():
+    with pytest.raises(ConfigError):
+        knob("warp_factor")
+
+
+def test_ladder_is_cumulative():
+    cfg = TuningConfig.stock(9000)
+    for step in LAN_OPTIMIZATION_LADDER:
+        cfg = step.transform(cfg)
+    assert cfg.mmrbc == 4096
+    assert cfg.smp_kernel is False
+    assert cfg.tcp_rmem == KB(256)
+
+
+def test_ladder_order_matches_paper():
+    names = [s.name for s in LAN_OPTIMIZATION_LADDER]
+    assert names[0] == "stock TCP"
+    assert "PCI-X" in names[1]
+    assert "uniprocessor" in names[2]
+    assert "window" in names[3].lower()
+
+
+def test_ladder_paper_peaks_recorded():
+    stock = LAN_OPTIMIZATION_LADDER[0]
+    assert stock.paper_peaks_gbps[1500] == 1.8
+    assert stock.paper_peaks_gbps[9000] == 2.7
+    final = LAN_OPTIMIZATION_LADDER[-1]
+    assert final.paper_peaks_gbps[8160] == 4.11

@@ -1,0 +1,99 @@
+"""Unit tests for the cost model: the calibration contract."""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.errors import ConfigError
+from repro.hw.calibration import Calibration, CostModel
+from repro.hw.presets import INTEL_E7505, PE2650
+
+
+def cm(config=None, spec=PE2650):
+    return CostModel(spec, config or TuningConfig.fully_tuned(9000))
+
+
+class TestScaling:
+    def test_per_packet_scales_inverse_with_clock(self):
+        cfg = TuningConfig.uniprocessor(9000)
+        slow = CostModel(PE2650, cfg)       # 2.2 GHz
+        fast = CostModel(INTEL_E7505, cfg)  # 2.66 GHz
+        assert fast.tx_syscall_s() < slow.tx_syscall_s()
+        ratio = slow.tx_syscall_s() / fast.tx_syscall_s()
+        assert ratio == pytest.approx(2.66 / 2.2, rel=0.01)
+
+    def test_smp_taxes_per_packet_costs(self):
+        smp = cm(TuningConfig.with_pcix_burst(9000))
+        up = cm(TuningConfig.uniprocessor(9000))
+        assert smp.tx_syscall_s() > up.tx_syscall_s()
+        assert smp.rx_segment_s(8948) > up.rx_segment_s(8948)
+
+    def test_timestamps_add_cost_and_disabled_removes_it(self):
+        with_ts = cm(TuningConfig.uniprocessor(9000))
+        without = cm(TuningConfig.uniprocessor(9000).replace(
+            tcp_timestamps=False))
+        assert with_ts.tx_segment_s(8948) > without.tx_segment_s(8948)
+        assert with_ts.rx_segment_s(8948) > without.rx_segment_s(8948)
+
+    def test_checksum_offload_saves_rx_time(self):
+        offload = cm(TuningConfig.uniprocessor(9000))
+        no_offload = cm(TuningConfig.uniprocessor(9000).replace(
+            checksum_offload=False))
+        assert no_offload.rx_segment_s(8948) > offload.rx_segment_s(8948)
+
+    def test_napi_discounts_batched_rx(self):
+        napi = cm(TuningConfig.uniprocessor(9000).replace(napi=True))
+        assert napi.rx_segment_s(8948, batch=8) < napi.rx_segment_s(8948,
+                                                                    batch=1)
+
+    def test_allocator_order_penalty_visible(self):
+        model = cm(TuningConfig.fully_tuned(9000))
+        # 9000-MTU frames land in order-2 blocks; 8160 in order-1
+        assert model.alloc_cost_s(9018) > model.alloc_cost_s(8178)
+
+
+class TestCapacities:
+    """The analytic ceilings the DES approaches (paper peaks)."""
+
+    def test_tuned_capacities_bracket_paper_peaks(self):
+        cases = [
+            (1500, 1448, 2.47),
+            (8160, 8108, 4.11),
+            (9000, 8948, 3.90),
+        ]
+        for mtu, mss, paper in cases:
+            model = cm(TuningConfig.fully_tuned(mtu))
+            got = model.rx_capacity_bps(mss) / 1e9
+            assert got == pytest.approx(paper, rel=0.08), (mtu, got)
+
+    def test_mtu16000_capacity_above_8160(self):
+        c16 = cm(TuningConfig.fully_tuned(16000)).rx_capacity_bps(15948)
+        c81 = cm(TuningConfig.fully_tuned(8160)).rx_capacity_bps(8108)
+        assert c16 > c81
+
+    def test_tx_cheaper_than_rx(self):
+        model = cm(TuningConfig.fully_tuned(9000))
+        assert model.tx_capacity_bps(8948) > model.rx_capacity_bps(8948)
+
+    def test_e7505_beats_pe2650(self):
+        cfg = TuningConfig(mtu=9000, mmrbc=4096, tcp_timestamps=False)
+        e = CostModel(INTEL_E7505, cfg).rx_capacity_bps(8948)
+        p = CostModel(PE2650, TuningConfig.fully_tuned(9000)
+                      ).rx_capacity_bps(8948)
+        assert e > p
+
+
+class TestCalibrationValidation:
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ConfigError):
+            Calibration(rx_irq_usghz=-1.0)
+
+    def test_pktgen_cost_not_smp_taxed(self):
+        smp = cm(TuningConfig.stock(9000))
+        up = cm(TuningConfig.uniprocessor(9000))
+        assert smp.pktgen_loop_s() == up.pktgen_loop_s()
+
+    def test_frame_bytes_accounts_for_timestamps(self):
+        with_ts = cm(TuningConfig.fully_tuned(9000))
+        without = cm(TuningConfig.fully_tuned(9000).replace(
+            tcp_timestamps=False))
+        assert with_ts.frame_bytes(1000) == without.frame_bytes(1000) + 12

@@ -1,0 +1,77 @@
+"""Determinism: identical inputs produce bit-identical results.
+
+The engine guarantees FIFO ordering among equal-time events and the
+model uses no wall-clock or unseeded randomness, so every experiment is
+exactly reproducible — the property that makes calibration and
+regression-hunting tractable.
+"""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.net.topology import BackToBack, build_wan_path
+from repro.sim import Environment
+from repro.tcp.connection import TcpConnection
+from repro.tcp.fluid import FluidParams, simulate_fluid
+from repro.tools.netpipe import netpipe_latency
+from repro.tools.nttcp import nttcp_run
+from repro.units import Gbps
+
+
+def one_nttcp(payload=8948, count=256):
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+    conn = TcpConnection(env, bb.a, bb.b)
+    result = nttcp_run(env, conn, payload, count)
+    return result, env.now, conn
+
+
+def test_nttcp_bit_identical_across_runs():
+    r1, t1, c1 = one_nttcp()
+    r2, t2, c2 = one_nttcp()
+    assert r1.goodput_bps == r2.goodput_bps
+    assert r1.elapsed_s == r2.elapsed_s
+    assert t1 == t2
+    assert c1.receiver.acks_sent == c2.receiver.acks_sent
+    assert c1.sender.segments_sent == c2.sender.segments_sent
+
+
+def test_latency_bit_identical():
+    def measure():
+        env = Environment()
+        bb = BackToBack.create(env, TuningConfig(
+            mtu=1500, mmrbc=4096, smp_kernel=False))
+        fwd = TcpConnection(env, bb.a, bb.b)
+        bwd = TcpConnection(env, bb.b, bb.a)
+        return netpipe_latency(env, fwd, bwd, 1, 4).latency_s
+
+    assert measure() == measure()
+
+
+def test_fluid_bit_identical():
+    p = FluidParams(bottleneck_bps=Gbps(2.38), base_rtt_s=0.18,
+                    mss=8948, max_window_bytes=Gbps(2.38) * 0.18 / 8)
+    a = simulate_fluid(p, 120.0)
+    b = simulate_fluid(p, 120.0)
+    assert a.mean_throughput_bps == b.mean_throughput_bps
+    assert (a.window_segments == b.window_segments).all()
+
+
+def test_wan_des_bit_identical():
+    def run():
+        env = Environment()
+        cfg = TuningConfig.wan_tuned(buf=1 << 21)
+        tb = build_wan_path(env, cfg)
+        for p in (tb.forward, tb.reverse):
+            p.oc192.propagation_s *= 0.01
+            p.oc48.propagation_s *= 0.01
+        conn = TcpConnection(env, tb.sunnyvale, tb.geneva)
+
+        def app():
+            yield from conn.send_stream(8948, 256)
+            yield from conn.wait_delivered(8948 * 256)
+
+        env.run(until=env.process(app()))
+        return env.now, conn.sender.segments_sent
+
+    assert run() == run()

@@ -1,0 +1,98 @@
+"""Unit tests for Ethernet links."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.net.ethernet import EthernetLink, FIBRE_M_PER_S, wire_time
+from repro.oskernel.skbuff import SkBuff
+from repro.sim import Environment
+from repro.units import Gbps
+
+
+class Collector:
+    def __init__(self, env=None):
+        self.frames = []
+        self.times = []
+        self.env = env
+
+    def receive_frame(self, skb):
+        self.frames.append(skb)
+        if self.env is not None:
+            self.times.append(self.env.now)
+
+
+def test_wire_time_includes_preamble_and_ifg():
+    skb = SkBuff(payload=1448, headers=52)
+    # 1448+52+18 frame + 20 preamble/IFG = 1538 bytes on the wire
+    assert wire_time(skb, Gbps(10)) == pytest.approx(1538 * 8 / 1e10)
+
+
+def test_delivery_after_serialization_and_propagation():
+    env = Environment()
+    link = EthernetLink(env, Gbps(10), length_m=200.0, mtu=9000)
+    sink = Collector(env)
+    link.connect(sink)
+    skb = SkBuff(payload=8948, headers=52)
+    link.transmit(skb)
+    env.run()
+    expected = wire_time(skb, Gbps(10)) + 200.0 / FIBRE_M_PER_S
+    assert sink.times[0] == pytest.approx(expected)
+
+
+def test_fifo_serialization():
+    env = Environment()
+    link = EthernetLink(env, Gbps(10), length_m=0.0, mtu=9000)
+    sink = Collector(env)
+    link.connect(sink)
+    first = SkBuff(payload=8948, headers=52)
+    second = SkBuff(payload=100, headers=52)
+    link.transmit(first)
+    link.transmit(second)
+    env.run()
+    assert [f.ident for f in sink.frames] == [first.ident, second.ident]
+    # second waits for the first's serialization
+    assert sink.times[1] == pytest.approx(
+        wire_time(first, Gbps(10)) + wire_time(second, Gbps(10)))
+
+
+def test_oversized_frame_rejected():
+    env = Environment()
+    link = EthernetLink(env, Gbps(10), mtu=1500)
+    link.connect(Collector())
+    with pytest.raises(LinkError):
+        link.transmit(SkBuff(payload=8948, headers=52))
+
+
+def test_unconnected_transmit_rejected():
+    env = Environment()
+    link = EthernetLink(env, Gbps(10))
+    with pytest.raises(LinkError):
+        link.transmit(SkBuff(payload=100, headers=52))
+
+
+def test_invalid_construction():
+    env = Environment()
+    with pytest.raises(LinkError):
+        EthernetLink(env, rate_bps=0)
+    with pytest.raises(LinkError):
+        EthernetLink(env, rate_bps=Gbps(10), length_m=-5)
+
+
+def test_counters_accumulate():
+    env = Environment()
+    link = EthernetLink(env, Gbps(10), mtu=9000)
+    link.connect(Collector())
+    for _ in range(3):
+        link.transmit(SkBuff(payload=1000, headers=52))
+    env.run()
+    assert link.frames.total == 3
+    assert link.bytes.total == 3 * SkBuff(payload=1000, headers=52).wire_bytes
+
+
+def test_gbe_rate_slows_serialization():
+    env = Environment()
+    fast = EthernetLink(env, Gbps(10), mtu=9000)
+    slow = EthernetLink(env, Gbps(1), mtu=9000)
+    skb = SkBuff(payload=8948, headers=52)
+    assert wire_time(skb, slow.rate_bps) == pytest.approx(
+        10 * wire_time(skb, fast.rate_bps))

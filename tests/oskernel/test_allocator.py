@@ -1,0 +1,102 @@
+"""Unit tests for the power-of-two sk_buff allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.oskernel.allocator import (
+    BuddyAllocator,
+    MAX_BLOCK,
+    MIN_BLOCK,
+    PAGE_SIZE,
+    block_order,
+    block_size_for,
+)
+
+
+class TestBlockSizeFor:
+    def test_paper_mtu_arithmetic(self):
+        # the §3.3 story: 8160-byte MTU frames fit an 8 KB block,
+        # 9000-byte frames need 16 KB (wasting ~7 KB)
+        assert block_size_for(8160 + 18) == 8192
+        assert block_size_for(9000 + 18) == 16384
+        assert block_size_for(16000 + 18) == 16384
+        assert block_size_for(1500 + 18) == 2048
+
+    def test_exact_power_of_two_fits(self):
+        assert block_size_for(8192) == 8192
+        assert block_size_for(8193) == 16384
+
+    def test_minimum_block(self):
+        assert block_size_for(1) == MIN_BLOCK
+
+    def test_invalid_sizes(self):
+        with pytest.raises(AllocationError):
+            block_size_for(0)
+        with pytest.raises(AllocationError):
+            block_size_for(-5)
+        with pytest.raises(AllocationError):
+            block_size_for(MAX_BLOCK + 1)
+
+
+class TestBlockOrder:
+    def test_suborder_pages(self):
+        assert block_order(256) == 0
+        assert block_order(PAGE_SIZE) == 0
+
+    def test_orders(self):
+        assert block_order(8192) == 1
+        assert block_order(16384) == 2
+        assert block_order(32768) == 3
+
+
+class TestBuddyAllocator:
+    def test_alloc_free_accounting(self):
+        alloc = BuddyAllocator()
+        h = alloc.alloc(9018)
+        assert h.block == 16384
+        assert h.waste == 16384 - 9018
+        assert alloc.outstanding_bytes == 16384
+        alloc.free(h)
+        assert alloc.outstanding_bytes == 0
+        assert alloc.stats.live == 0
+
+    def test_double_free_rejected(self):
+        alloc = BuddyAllocator()
+        h = alloc.alloc(100)
+        alloc.free(h)
+        with pytest.raises(AllocationError):
+            alloc.free(h)
+
+    def test_cost_grows_with_order(self):
+        alloc = BuddyAllocator()
+        c_small = alloc.alloc_cost(1518)     # order 0
+        c_8k = alloc.alloc_cost(8178)        # order 1
+        c_16k = alloc.alloc_cost(9018)       # order 2
+        assert c_small < c_8k < c_16k
+
+    def test_9000_and_16000_mtu_cost_the_same(self):
+        # both land in 16 KB blocks: same allocator stress
+        alloc = BuddyAllocator()
+        assert alloc.alloc_cost(9018) == alloc.alloc_cost(16018)
+
+    def test_waste_fraction(self):
+        alloc = BuddyAllocator()
+        alloc.alloc(9018)
+        frac = alloc.stats.waste_fraction
+        assert frac == pytest.approx(1 - 9018 / 16384)
+
+    def test_waste_fraction_empty(self):
+        assert BuddyAllocator().stats.waste_fraction == 0.0
+
+    def test_by_block_histogram(self):
+        alloc = BuddyAllocator()
+        for _ in range(3):
+            alloc.alloc(9018)
+        alloc.alloc(1518)
+        assert alloc.stats.by_block == {16384: 3, 2048: 1}
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(AllocationError):
+            BuddyAllocator(base_cost_s=-1e-9)
+        with pytest.raises(AllocationError):
+            BuddyAllocator(order_penalty_s=-1e-9)

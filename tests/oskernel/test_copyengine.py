@@ -1,0 +1,48 @@
+"""Unit tests for the copy-cost engine."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.oskernel.copyengine import CopyEngine
+from repro.units import Gbps
+
+
+def test_copy_time_at_stream_rate():
+    eng = CopyEngine(stream_copy_bps=Gbps(8))
+    # 1 byte at 8 Gb/s = 1 ns
+    assert eng.copy_time(1) == pytest.approx(1e-9)
+    assert eng.copy_time(1000) == pytest.approx(1e-6)
+
+
+def test_checksum_cheaper_than_copy():
+    eng = CopyEngine(stream_copy_bps=Gbps(8))
+    assert eng.checksum_time(4096) < eng.copy_time(4096)
+
+
+def test_default_read_rate_derived():
+    eng = CopyEngine(stream_copy_bps=Gbps(8))
+    assert eng.read_bps == pytest.approx(Gbps(8) * 1.6)
+
+
+def test_explicit_read_rate_respected():
+    eng = CopyEngine(stream_copy_bps=Gbps(8), read_bps=Gbps(20))
+    assert eng.checksum_time(1000) == pytest.approx(8e3 / Gbps(20))
+
+
+def test_offload_removes_checksum_pass():
+    eng = CopyEngine(stream_copy_bps=Gbps(8))
+    with_offload = eng.rx_byte_time(8192, checksum_offload=True)
+    without = eng.rx_byte_time(8192, checksum_offload=False)
+    assert without > with_offload
+    assert without - with_offload == pytest.approx(eng.checksum_time(8192))
+
+
+def test_tx_symmetric_behaviour():
+    eng = CopyEngine(stream_copy_bps=Gbps(8))
+    assert eng.tx_byte_time(1000, True) == pytest.approx(eng.copy_time(1000))
+    assert eng.tx_byte_time(1000, False) > eng.tx_byte_time(1000, True)
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ConfigError):
+        CopyEngine(stream_copy_bps=0)

@@ -1,0 +1,64 @@
+"""Unit tests for SkBuff sizing."""
+
+import pytest
+
+from repro.oskernel.skbuff import (
+    ETH_HEADER,
+    ETH_OVERHEAD_WIRE,
+    IP_HEADER,
+    SkBuff,
+    TCP_HEADER,
+    TCP_TIMESTAMP_OPT,
+    ip_tcp_header_bytes,
+)
+
+
+def make(payload=1448, headers=52, **kw):
+    return SkBuff(payload=payload, headers=headers, **kw)
+
+
+def test_frame_and_wire_bytes():
+    skb = make(payload=1448, headers=52)
+    assert skb.frame_bytes == 1448 + 52 + ETH_HEADER
+    assert skb.wire_bytes == skb.frame_bytes + ETH_OVERHEAD_WIRE
+
+
+def test_truesize_block_boundaries():
+    # 8160-MTU frame fits 8 KB; 9000-MTU frame needs 16 KB
+    skb_8160 = make(payload=8160 - 52, headers=52)
+    assert skb_8160.truesize == 8192
+    skb_9000 = make(payload=9000 - 52, headers=52)
+    assert skb_9000.truesize == 16384
+
+
+def test_unique_increasing_idents():
+    a, b = make(), make()
+    assert b.ident > a.ident
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(ValueError):
+        SkBuff(payload=-1)
+    with pytest.raises(ValueError):
+        SkBuff(payload=10, headers=-1)
+
+
+def test_copy_for_retransmit_preserves_tcp_identity():
+    skb = make(payload=1000, headers=52)
+    skb.seq, skb.end_seq, skb.conn = 5000, 6000, "c1"
+    clone = skb.copy_for_retransmit()
+    assert clone.seq == 5000 and clone.end_seq == 6000
+    assert clone.conn == "c1"
+    assert clone.ident != skb.ident
+    assert clone.meta["retransmit"] is True
+
+
+def test_header_bytes_with_timestamps():
+    assert ip_tcp_header_bytes(False) == IP_HEADER + TCP_HEADER
+    assert ip_tcp_header_bytes(True) == IP_HEADER + TCP_HEADER + TCP_TIMESTAMP_OPT
+
+
+def test_ack_frame_is_small_on_the_wire():
+    ack = SkBuff(payload=0, headers=52, kind="ack", ack=12345)
+    assert ack.frame_bytes == 52 + ETH_HEADER
+    assert ack.truesize == 256  # minimum block

@@ -1,0 +1,82 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=1, max_size=60)
+
+
+class TestEventOrdering:
+    @given(delays)
+    def test_events_fire_in_time_order(self, ds):
+        env = Environment()
+        fired = []
+        for d in ds:
+            env.schedule_call(d, fired.append, d)
+        env.run()
+        assert fired == sorted(ds)
+        assert env.now == max(ds)
+
+    @given(delays)
+    def test_equal_times_fifo(self, ds):
+        env = Environment()
+        fired = []
+        for i, d in enumerate(ds):
+            env.schedule_call(round(d, 0), fired.append, (round(d, 0), i))
+        env.run()
+        # among equal times, insertion order preserved
+        for t in {x for x, _ in fired}:
+            indices = [i for x, i in fired if x == t]
+            assert indices == sorted(indices)
+
+
+class TestResourceProperties:
+    @given(st.integers(min_value=1, max_value=5),
+           st.lists(st.floats(min_value=0.01, max_value=5.0),
+                    min_size=1, max_size=25))
+    @settings(max_examples=40)
+    def test_resource_conserves_work(self, capacity, holds):
+        """Total busy time equals the sum of hold times, and the
+        makespan is bounded by the list-scheduling bound."""
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+
+        def worker(hold):
+            req = res.request()
+            yield req
+            yield env.timeout(hold)
+            res.release(req)
+
+        for h in holds:
+            env.process(worker(h))
+        env.run()
+        assert res.busy_time == sum(holds) or abs(
+            res.busy_time - sum(holds)) < 1e-9
+        lower = max(max(holds), sum(holds) / capacity)
+        assert env.now >= lower - 1e-9
+        assert env.now <= sum(holds) + 1e-9
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=100))
+    def test_store_is_fifo_and_lossless(self, items):
+        env = Environment()
+        store = Store(env)
+        out = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                value = yield store.get()
+                out.append(value)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert out == items

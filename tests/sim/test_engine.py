@@ -1,0 +1,272 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ScheduleInPastError, SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(2.5)
+    env.run()
+    assert env.now == 2.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ScheduleInPastError):
+        env.timeout(-1.0)
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+    fired = []
+    env.schedule_call(1.0, fired.append, "a")
+    env.schedule_call(3.0, fired.append, "b")
+    env.run(until=2.0)
+    assert fired == ["a"]
+    assert env.now == 2.0
+    env.run(until=4.0)
+    assert fired == ["a", "b"]
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=3.0)
+    with pytest.raises(ScheduleInPastError):
+        env.run(until=1.0)
+
+
+def test_same_time_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+    for i in range(10):
+        env.schedule_call(1.0, order.append, i)
+    env.run()
+    assert order == list(range(10))
+
+
+def test_event_succeed_delivers_value():
+    env = Environment()
+    ev = env.event()
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    ev.succeed(42)
+    env.run()
+    assert got == [42]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_callback_after_processed_runs_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("x")
+    env.run()
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    assert got == ["x"]
+
+
+def test_process_sequences_timeouts():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield env.timeout(1.0)
+        times.append(env.now)
+        yield env.timeout(2.0)
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [1.0, 3.0]
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return "done"
+
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == ["done"]
+
+
+def test_process_yielding_non_event_crashes_cleanly():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_process_exception_surfaces_when_unwaited():
+    env = Environment()
+
+    def boom():
+        yield env.timeout(1.0)
+        raise ValueError("kaput")
+
+    env.process(boom())
+    with pytest.raises(SimulationError, match="kaput"):
+        env.run()
+
+
+def test_process_exception_delivered_to_waiter():
+    env = Environment()
+    caught = []
+
+    def boom():
+        yield env.timeout(1.0)
+        raise ValueError("kaput")
+
+    def waiter():
+        try:
+            yield env.process(boom())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    env.run()
+    assert caught == ["kaput"]
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+            log.append("slept")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause, env.now))
+
+    proc = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(2.0)
+        proc.interrupt("wakeup")
+
+    env.process(interrupter())
+    env.run()
+    assert ("interrupted", "wakeup", 2.0) in log
+    assert "slept" not in log
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(0.1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3.0)
+        return 99
+
+    p = env.process(proc())
+    assert env.run(until=p) == 99
+    assert env.now == 3.0
+
+
+def test_run_until_event_never_fires():
+    env = Environment()
+    ev = env.event()  # never triggered
+    env.timeout(1.0)
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(5.0)
+    assert env.peek() == 5.0
+    env.step()
+    assert env.now == 5.0
+    assert env.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_cross_environment_event_rejected():
+    env1 = Environment()
+    env2 = Environment()
+    foreign = env2.timeout(1.0)
+
+    def proc():
+        yield foreign
+
+    env1.process(proc())
+    with pytest.raises(SimulationError, match="another environment"):
+        env1.run()
+
+
+def test_nested_processes_three_deep():
+    env = Environment()
+
+    def leaf():
+        yield env.timeout(1.0)
+        return 1
+
+    def middle():
+        v = yield env.process(leaf())
+        yield env.timeout(1.0)
+        return v + 1
+
+    def root():
+        v = yield env.process(middle())
+        return v + 1
+
+    p = env.process(root())
+    assert env.run(until=p) == 3
+    assert env.now == 2.0

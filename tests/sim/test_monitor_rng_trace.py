@@ -1,0 +1,157 @@
+"""Tests for monitors, RNG streams and the trace buffer."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.sim import (
+    CounterMonitor,
+    Environment,
+    Monitor,
+    RngStreams,
+    TraceBuffer,
+    UtilizationMonitor,
+)
+
+
+class TestMonitor:
+    def test_record_and_statistics(self):
+        env = Environment()
+        m = Monitor(env)
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]:
+            m.record(v, time=t)
+        assert len(m) == 3
+        assert m.mean() == 3.0
+        assert m.min() == 1.0 and m.max() == 5.0
+        assert m.std() == pytest.approx((8 / 3) ** 0.5)
+
+    def test_time_average_piecewise_constant(self):
+        env = Environment()
+        m = Monitor(env)
+        m.record(0.0, time=0.0)
+        m.record(10.0, time=1.0)
+        assert m.time_average(until=2.0) == pytest.approx(5.0)
+
+    def test_rate(self):
+        env = Environment()
+        m = Monitor(env)
+        m.record(100, time=0.0)
+        m.record(100, time=1.0)
+        m.record(100, time=2.0)
+        assert m.rate() == pytest.approx(150.0)
+
+    def test_empty_monitor_raises(self):
+        m = Monitor(Environment())
+        with pytest.raises(MeasurementError):
+            m.mean()
+
+    def test_arrays(self):
+        env = Environment()
+        m = Monitor(env)
+        m.record(1.0, time=0.5)
+        times, values = m.arrays()
+        assert times.tolist() == [0.5]
+        assert values.tolist() == [1.0]
+
+
+class TestCounterMonitor:
+    def test_rate_over_span(self):
+        env = Environment()
+        c = CounterMonitor(env)
+        c.add(10)
+        env.run(until=2.0)
+        c.add(10)
+        assert c.total == 20
+        assert c.rate() == pytest.approx(10.0)
+
+    def test_empty_counter_raises(self):
+        c = CounterMonitor(Environment())
+        with pytest.raises(MeasurementError):
+            c.rate()
+
+
+class TestUtilizationMonitor:
+    def test_half_busy(self):
+        env = Environment()
+        u = UtilizationMonitor(env)
+        u.enter()
+        env.run(until=1.0)
+        u.exit()
+        env.run(until=2.0)
+        assert u.utilization() == pytest.approx(0.5)
+
+    def test_exit_without_enter_raises(self):
+        u = UtilizationMonitor(Environment())
+        with pytest.raises(MeasurementError):
+            u.exit()
+
+
+class TestRngStreams:
+    def test_same_name_same_stream_across_instances(self):
+        a = RngStreams(seed=7).get("loss").random(5)
+        b = RngStreams(seed=7).get("loss").random(5)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        s = RngStreams(seed=7)
+        a = s.get("loss").random(5)
+        b = s.get("jitter").random(5)
+        assert not (a == b).all()
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RngStreams(seed=3)
+        s1.get("x")
+        a = s1.get("y").random(3)
+        s2 = RngStreams(seed=3)
+        b = s2.get("y").random(3)
+        assert (a == b).all()
+
+    def test_reset(self):
+        s = RngStreams(seed=1)
+        a = s.get("x").random(3)
+        s.reset()
+        b = s.get("x").random(3)
+        assert (a == b).all()
+
+
+class TestTraceBuffer:
+    def test_disabled_by_default(self):
+        buf = TraceBuffer()
+        buf.post(0.0, "a.b", 1)
+        assert len(buf) == 0
+
+    def test_enabled_records(self):
+        buf = TraceBuffer(enabled=True)
+        buf.post(1.0, "tcp.tx", 42, seq=100)
+        assert len(buf) == 1
+        ev = next(iter(buf))
+        assert ev.point == "tcp.tx" and ev.subject == 42
+        assert ev.detail["seq"] == 100
+
+    def test_select_by_point_and_prefix(self):
+        buf = TraceBuffer(enabled=True)
+        buf.post(0.0, "tcp.tx.segment", 1)
+        buf.post(0.0, "tcp.rx.deliver", 1)
+        buf.post(0.0, "tcp.rx.ack", 2)
+        assert len(buf.select(point="tcp.rx.*")) == 2
+        assert len(buf.select(point="tcp.tx.segment")) == 1
+        assert len(buf.select(subject=1)) == 2
+
+    def test_ring_discards_oldest(self):
+        buf = TraceBuffer(max_events=10, enabled=True)
+        for i in range(25):
+            buf.post(float(i), "p", i)
+        assert len(buf) <= 10
+        assert buf.dropped > 0
+        # newest events survive
+        assert any(e.subject == 24 for e in buf)
+
+    def test_points_histogram(self):
+        buf = TraceBuffer(enabled=True)
+        for _ in range(3):
+            buf.post(0.0, "a", None)
+        buf.post(0.0, "b", None)
+        assert buf.points() == {"a": 3, "b": 1}
+
+    def test_invalid_max_events(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(max_events=0)

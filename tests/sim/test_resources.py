@@ -1,0 +1,210 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.sim import Environment, Resource, Store
+
+
+def make_worker(env, res, log, name, hold):
+    def worker():
+        req = res.request()
+        yield req
+        log.append((name, "start", env.now))
+        yield env.timeout(hold)
+        res.release(req)
+        log.append((name, "end", env.now))
+    return worker
+
+
+def test_resource_serializes_single_capacity():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+    env.process(make_worker(env, res, log, "a", 2.0)())
+    env.process(make_worker(env, res, log, "b", 3.0)())
+    env.run()
+    assert log == [
+        ("a", "start", 0.0),
+        ("a", "end", 2.0),
+        ("b", "start", 2.0),
+        ("b", "end", 5.0),
+    ]
+
+
+def test_resource_parallel_capacity_two():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+    for name in ("a", "b", "c"):
+        env.process(make_worker(env, res, log, name, 2.0)())
+    env.run()
+    starts = {name: t for name, kind, t in log if kind == "start"}
+    assert starts == {"a": 0.0, "b": 0.0, "c": 2.0}
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for name in "abcde":
+        env.process(worker(name))
+    env.run()
+    assert order == list("abcde")
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ResourceError):
+        Resource(env, capacity=0)
+
+
+def test_release_unheld_request_rejected():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def bad():
+        req1 = res.request()
+        yield req1
+        res.release(req1)
+        res.release(req1)  # double release
+
+    env.process(bad())
+    with pytest.raises(Exception):
+        env.run()
+
+
+def test_resource_utilization():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def worker():
+        req = res.request()
+        yield req
+        yield env.timeout(3.0)
+        res.release(req)
+
+    env.process(worker())
+    env.run()
+    env.run(until=6.0)
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(5.0)
+        res.release(req)
+
+    env.process(holder())
+    env.run(until=1.0)
+    req = res.request()
+    assert res.queue_length == 1
+    res.cancel(req)
+    assert res.queue_length == 0
+    env.run()
+    assert not granted
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [item for item, _ in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer():
+        yield env.timeout(4.0)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [("x", 4.0)]
+
+
+def test_store_bounded_put_blocks():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(("a", env.now))
+        yield store.put("b")
+        times.append(("b", env.now))
+
+    def consumer():
+        yield env.timeout(3.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [("a", 0.0), ("b", 3.0)]
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put("x")
+    env.run()
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_store_level_and_max_level():
+    env = Environment()
+    store = Store(env)
+    for i in range(5):
+        store.put(i)
+    env.run()
+    assert store.level == 5
+    assert store.max_level == 5
+    store.get()
+    env.run()
+    assert store.level == 4
+    assert store.max_level == 5
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ResourceError):
+        Store(env, capacity=0)

@@ -1,0 +1,53 @@
+"""Tests for the simulated three-way handshake timing."""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.net.topology import BackToBack, build_wan_path
+from repro.sim import Environment
+from repro.tcp.connection import TcpConnection
+
+
+def test_lan_handshake_is_one_rtt():
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig(
+        mtu=1500, mmrbc=4096, smp_kernel=False))
+    conn = TcpConnection(env, bb.a, bb.b)
+    done = env.process(conn.handshake())
+    latency = env.run(until=done)
+    # one kernel-level LAN round trip: slightly under 2 x the 19 us
+    # app-to-app latency (no reader wakeup on either end)
+    assert 20e-6 < latency < 38e-6
+
+
+def test_wan_handshake_is_180ms():
+    env = Environment()
+    cfg = TuningConfig.wan_tuned(buf=1 << 22)
+    tb = build_wan_path(env, cfg)
+    conn = TcpConnection(env, tb.sunnyvale, tb.geneva)
+    done = env.process(conn.handshake())
+    latency = env.run(until=done)
+    assert latency == pytest.approx(0.180, rel=0.02)
+
+
+def test_data_flows_after_handshake():
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+    conn = TcpConnection(env, bb.a, bb.b)
+
+    def app():
+        yield from conn.handshake()
+        yield from conn.send_stream(8948, 32)
+        yield from conn.wait_delivered(8948 * 32)
+
+    env.run(until=env.process(app()))
+    assert conn.receiver.bytes_delivered == 8948 * 32
+
+
+def test_handshake_twice_is_allowed():
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.stock(1500))
+    conn = TcpConnection(env, bb.a, bb.b)
+    l1 = env.run(until=env.process(conn.handshake()))
+    l2 = env.run(until=env.process(conn.handshake()))
+    assert l1 > 0 and l2 > 0

@@ -1,0 +1,49 @@
+"""Unit tests for MSS arithmetic."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.tcp.mss import MtuProfile, advertised_mss, mss_for_mtu
+
+
+def test_advertised_mss_is_mtu_minus_40():
+    assert advertised_mss(9000) == 8960
+    assert advertised_mss(1500) == 1460
+    assert advertised_mss(8160) == 8120
+    assert advertised_mss(16000) == 15960
+
+
+def test_timestamps_consume_option_bytes():
+    assert mss_for_mtu(9000, timestamps=True) == 8948
+    assert mss_for_mtu(9000, timestamps=False) == 8960
+    assert mss_for_mtu(1500, timestamps=True) == 1448
+
+
+def test_tiny_mtu_rejected():
+    with pytest.raises(ProtocolError):
+        advertised_mss(40)
+    with pytest.raises(ProtocolError):
+        mss_for_mtu(50, timestamps=True)
+
+
+def test_profile_effective_mss():
+    p = MtuProfile(mtu=9000, timestamps=True)
+    assert p.effective_mss == 8948
+    assert p.advertised == 8960
+
+
+def test_alignment_quirk_reproduces_8960_vs_8948():
+    """§3.5.1: receiver aligns on 8948 (its own view), sender's segments
+    are 8948 but the *sender* side aligns its cwnd on the advertised
+    8960 — the paper's mismatch example."""
+    receiver = MtuProfile(mtu=9000, timestamps=True, mismatch_quirk=True)
+    # peer advertised 8960; quirk keeps the raw advertised value
+    assert receiver.alignment_mss(8960) == 8960
+    correct = MtuProfile(mtu=9000, timestamps=True, mismatch_quirk=False)
+    assert correct.alignment_mss(8960) == 8948
+
+
+def test_alignment_takes_minimum_of_views():
+    # a 1500-MTU peer advertising 1460 must win over our jumbo view
+    local = MtuProfile(mtu=9000, timestamps=True)
+    assert local.alignment_mss(1460) == 1460

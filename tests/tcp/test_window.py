@@ -1,0 +1,130 @@
+"""Unit tests for window arithmetic (the §3.5.1 mechanics)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.tcp.window import (
+    MAX_UNSCALED_WINDOW,
+    ReceiveWindow,
+    sws_aligned,
+    window_from_space,
+    window_scale_for,
+    wire_window,
+)
+from repro.units import KB
+
+
+class TestSwsAligned:
+    def test_paper_footnote_formula(self):
+        # advertised = (int)(available / MSS) * MSS
+        assert sws_aligned(33000, 8948) == 26844  # the worked example
+        assert sws_aligned(26844, 8960) == 17920  # sender side of it
+
+    def test_exact_multiple_unchanged(self):
+        assert sws_aligned(8948 * 5, 8948) == 8948 * 5
+
+    def test_below_one_mss_is_zero(self):
+        assert sws_aligned(8000, 8948) == 0
+
+    def test_negative_available(self):
+        assert sws_aligned(-100, 1448) == 0
+
+    def test_invalid_mss(self):
+        with pytest.raises(ProtocolError):
+            sws_aligned(1000, 0)
+
+
+class TestWindowFromSpace:
+    def test_default_three_quarters(self):
+        assert window_from_space(65536) == 49152
+
+    def test_zero_space(self):
+        assert window_from_space(0) == 0
+        assert window_from_space(-10) == 0
+
+    def test_expected_48k_of_the_paper(self):
+        """§3.3 computes an expected ~48 KB window from the 64 KB
+        default; the adv_win_scale arithmetic produces exactly that."""
+        assert window_from_space(KB(64)) == KB(48)
+
+
+class TestWindowScaling:
+    def test_no_scale_needed_small_buffer(self):
+        assert window_scale_for(KB(64)) == 0
+
+    def test_scale_for_larger_buffers(self):
+        assert window_scale_for(KB(256)) == 2
+        # 32 MB usable (24 MB) needs 9 doublings of 64 KB -> shift 9
+        assert window_scale_for(32 * 1024 * 1024) == 9
+        assert window_scale_for(128 * 1024 * 1024) == 11
+
+    def test_wire_window_truncates_low_bits(self):
+        assert wire_window(100001, 3) == 100000 - (100000 % 8)
+        assert wire_window(65535, 0) == 65535
+
+    def test_wire_window_caps_at_representable(self):
+        assert wire_window(10**9, 2) == MAX_UNSCALED_WINDOW << 2 >> 2 << 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(ProtocolError):
+            wire_window(1000, -1)
+        with pytest.raises(ProtocolError):
+            wire_window(1000, 20)
+
+
+class TestReceiveWindow:
+    def test_initial_advertisement_mss_aligned(self):
+        win = ReceiveWindow(rmem=KB(64), align_mss=8960)
+        # 3/4 of 64K = 49152 -> 5 x 8960 = 44800
+        assert win.current == 44800
+
+    def test_truesize_charge_shrinks_future_advertisements(self):
+        win = ReceiveWindow(rmem=KB(64), align_mss=8960)
+        # consume the initially promised 5 segments...
+        win.rcv_nxt = 5 * 8948
+        # ...while two 16 KB-truesize segments sit undrained
+        win.charge(16384)
+        win.charge(16384)
+        # free = 64K - 32K = 32K; 3/4 -> 24576 -> 2 x 8960
+        assert win.advertise() == 2 * 8960
+
+    def test_window_never_retreats(self):
+        win = ReceiveWindow(rmem=KB(64), align_mss=8960)
+        first_right = win.rcv_nxt + win.current
+        win.charge(3 * 16384)  # huge occupancy
+        # fresh advertisement cannot pull the right edge back
+        assert win.rcv_nxt + win.advertise() >= first_right
+
+    def test_uncharge_restores_space(self):
+        win = ReceiveWindow(rmem=KB(64), align_mss=8960)
+        win.charge(16384)
+        win.uncharge(16384)
+        assert win.free_space == KB(64)
+
+    def test_uncharge_underflow_rejected(self):
+        win = ReceiveWindow(rmem=KB(64), align_mss=8960)
+        with pytest.raises(ProtocolError):
+            win.uncharge(1)
+
+    def test_would_update_after_drain(self):
+        win = ReceiveWindow(rmem=KB(64), align_mss=8960)
+        win.charge(16384 * 2)
+        win.rcv_nxt = 2 * 8948
+        win.advertise()
+        assert not win.would_update(1)
+        win.uncharge(16384 * 2)
+        assert win.would_update(1)
+
+    def test_scaling_enables_large_windows(self):
+        big = ReceiveWindow(rmem=KB(1024), align_mss=8960,
+                            window_scaling=True)
+        small = ReceiveWindow(rmem=KB(1024), align_mss=8960,
+                              window_scaling=False)
+        assert big.current > MAX_UNSCALED_WINDOW
+        assert small.current <= MAX_UNSCALED_WINDOW
+
+    def test_invalid_construction(self):
+        with pytest.raises(ProtocolError):
+            ReceiveWindow(rmem=0, align_mss=1448)
+        with pytest.raises(ProtocolError):
+            ReceiveWindow(rmem=KB(64), align_mss=0)

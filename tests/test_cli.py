@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.experiments import experiment_ids
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == experiment_ids()
+
+
+def test_no_args_shows_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_unknown_experiment(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_fast_experiments(capsys, tmp_path):
+    assert main(["fig8", "tab1", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "=== fig8" in out and "=== tab1" in out
+    assert (tmp_path / "fig8.txt").exists()
+    assert "Geneva-Sunnyvale" in (tmp_path / "tab1.txt").read_text()

@@ -1,0 +1,70 @@
+"""Tests for the ethtool/setpci front end."""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.errors import ConfigError
+from repro.tools.ethtool import Ethtool
+
+
+def test_coalescing_rx_usecs():
+    et = Ethtool()
+    et.run("ethtool -C eth1 rx-usecs 0")
+    cfg = et.apply(TuningConfig.stock())
+    assert cfg.interrupt_coalescing_us == 0.0
+
+
+def test_adaptive_rx():
+    et = Ethtool()
+    et.run("ethtool -C eth1 adaptive-rx on")
+    assert et.apply(TuningConfig.stock()).adaptive_coalescing is True
+
+
+def test_offload_flags():
+    et = Ethtool()
+    et.run("ethtool -K eth1 tso on")
+    et.run("ethtool -K eth1 rx off")
+    cfg = et.apply(TuningConfig.stock())
+    assert cfg.tso is True
+    assert cfg.checksum_offload is False
+
+
+def test_setpci_mmrbc_encoding():
+    """e6.b bits 2-3 encode the burst size: 0x2e -> field 3 -> 4096."""
+    et = Ethtool()
+    et.run("setpci -d 8086:1048 e6.b=2e")
+    assert et.apply(TuningConfig.stock()).mmrbc == 4096
+    et2 = Ethtool()
+    et2.run("setpci e6.b=22")   # field 0 -> 512
+    assert et2.apply(TuningConfig.stock(9000)).mmrbc == 512
+
+
+def test_full_paper_recipe():
+    et = Ethtool()
+    for line in ("setpci -d 8086:1048 e6.b=2e",
+                 "ethtool -C eth1 rx-usecs 5"):
+        et.run(line)
+    cfg = et.apply(TuningConfig.stock(9000))
+    assert cfg.mmrbc == 4096
+    assert cfg.interrupt_coalescing_us == 5.0
+    assert len(et.history) == 2
+
+
+def test_apply_without_commands_is_identity():
+    cfg = TuningConfig.stock()
+    assert Ethtool().apply(cfg) is cfg
+
+
+@pytest.mark.parametrize("bad", [
+    "",
+    "iptables -F",
+    "ethtool -C eth1 rx-usecs",          # missing value
+    "ethtool -C eth1 tx-usecs 5",        # unsupported key
+    "ethtool -K eth1 gro maybe",         # bad on/off
+    "ethtool -X eth1 equal 4",           # unsupported mode
+    "setpci -d 8086:1048 e4.w=ffff",     # unmodelled register
+    "setpci e6.b=zz",                    # bad hex
+])
+def test_invalid_commands_rejected(bad):
+    with pytest.raises(ConfigError):
+        Ethtool().run(bad)

@@ -1,0 +1,107 @@
+"""Tests for MAGNET, tcpdump and STREAM tools."""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.errors import MeasurementError
+from repro.hw.presets import PE2650, PE4600
+from repro.net.topology import BackToBack
+from repro.sim import Environment
+from repro.tcp.connection import TcpConnection
+from repro.tools.magnet import Magnet
+from repro.tools.stream_bench import stream_bench
+from repro.tools.tcpdump import Tcpdump
+
+
+def run_traffic(with_magnet=False, with_tcpdump=False):
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+    conn = TcpConnection(env, bb.a, bb.b)
+    magnet = Magnet(bb.a, bb.b) if with_magnet else None
+    if magnet:
+        magnet.start()
+    dump = Tcpdump(env, bb.links[1]) if with_tcpdump else None
+
+    def app():
+        yield from conn.send_stream(8948, 64)
+        yield from conn.wait_delivered(8948 * 64)
+
+    env.run(until=env.process(app()))
+    return env, conn, magnet, dump
+
+
+class TestMagnet:
+    def test_requires_hosts(self):
+        with pytest.raises(MeasurementError):
+            Magnet()
+
+    def test_path_histogram_counts_instrumentation_points(self):
+        _, conn, magnet, _ = run_traffic(with_magnet=True)
+        hist = magnet.path_histogram()
+        assert hist.get("tcp.tx.segment") == 64
+        assert hist.get("tcp.rx.deliver") == 64
+        assert "host.rx.dispatch" in hist
+
+    def test_profile_tx_to_deliver(self):
+        _, conn, magnet, _ = run_traffic(with_magnet=True)
+        prof = magnet.profile("tcp.tx.segment", "tcp.rx.deliver")
+        assert prof.samples == 64
+        # one-way data-path latency: tens of microseconds
+        assert 10 < prof.mean_us < 500
+        assert prof.p50_s <= prof.p99_s
+
+    def test_profile_without_matches_raises(self):
+        _, conn, magnet, _ = run_traffic(with_magnet=True)
+        with pytest.raises(MeasurementError):
+            magnet.profile("tcp.tx.segment", "no.such.point")
+
+    def test_disabled_magnet_records_nothing(self):
+        _, conn, magnet, _ = run_traffic(with_magnet=True)
+        magnet.clear()
+        magnet.stop()
+        assert magnet.path_histogram() == {}
+
+
+class TestTcpdump:
+    def test_captures_acks_with_windows(self):
+        _, conn, _, dump = run_traffic(with_tcpdump=True)
+        acks = dump.acks()
+        assert len(acks) == conn.receiver.acks_sent
+        windows = dump.advertised_windows()
+        assert all(w >= 0 for w in windows)
+        # §3.5.1 evidence: advertised windows are MSS-multiples
+        mss = conn.receiver.align_mss
+        assert all(w % mss == 0 for w in windows)
+
+    def test_data_capture_on_forward_link(self):
+        env = Environment()
+        bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+        conn = TcpConnection(env, bb.a, bb.b)
+        dump = Tcpdump(env, bb.links[0])
+
+        def app():
+            yield from conn.send_stream(8948, 32)
+            yield from conn.wait_delivered(8948 * 32)
+
+        env.run(until=env.process(app()))
+        assert len(dump.data()) == 32
+        assert "data" in dump.data()[0].summary()
+
+    def test_attach_before_connect_rejected(self):
+        env = Environment()
+        from repro.net.ethernet import EthernetLink
+        from repro.units import Gbps
+        link = EthernetLink(env, Gbps(10))
+        with pytest.raises(ValueError):
+            Tcpdump(env, link)
+
+
+class TestStream:
+    def test_pe4600_beats_pe2650_by_half(self):
+        r2650 = stream_bench(PE2650)
+        r4600 = stream_bench(PE4600)
+        assert r4600.copy_gbps == pytest.approx(12.8)
+        assert r4600.copy_bps / r2650.copy_bps == pytest.approx(1.5, rel=0.05)
+
+    def test_efficiency_below_one(self):
+        assert 0 < stream_bench(PE2650).efficiency < 1

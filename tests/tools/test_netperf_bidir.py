@@ -1,0 +1,88 @@
+"""Tests for netperf and bidirectional NTTCP."""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.errors import MeasurementError
+from repro.net.topology import BackToBack
+from repro.sim import Environment
+from repro.tcp.connection import TcpConnection
+from repro.tools.netperf import netperf_tcp_rr, netperf_tcp_stream
+from repro.tools.nttcp import nttcp_bidirectional, nttcp_run
+
+
+def fresh_pair(cfg=None):
+    env = Environment()
+    bb = BackToBack.create(env, cfg or TuningConfig.oversized_windows(9000))
+    return (env, TcpConnection(env, bb.a, bb.b),
+            TcpConnection(env, bb.b, bb.a))
+
+
+class TestNetperf:
+    def test_tcp_stream_corresponds_to_nttcp(self):
+        """§3.2: netperf results correspond to NTTCP/Iperf."""
+        env, fwd, _ = fresh_pair()
+        stream = netperf_tcp_stream(env, fwd, duration_s=0.004,
+                                    send_size=8948)
+        env2, fwd2, _ = fresh_pair()
+        nttcp = nttcp_run(env2, fwd2, payload=8948, count=256)
+        assert stream.throughput_bps == pytest.approx(nttcp.goodput_bps,
+                                                      rel=0.10)
+
+    def test_tcp_rr_matches_rtt(self):
+        cfg = TuningConfig(mtu=1500, mmrbc=4096, smp_kernel=False)
+        env, fwd, bwd = fresh_pair(cfg)
+        rr = netperf_tcp_rr(env, fwd, bwd, transactions=5)
+        # ~38 us RTT -> ~26k transactions/s
+        assert rr.mean_rtt_s == pytest.approx(38e-6, rel=0.1)
+        assert rr.transactions_per_sec == pytest.approx(1 / rr.mean_rtt_s)
+
+    def test_tcp_rr_asymmetric_sizes(self):
+        cfg = TuningConfig(mtu=1500, mmrbc=4096, smp_kernel=False)
+        env, fwd, bwd = fresh_pair(cfg)
+        rr = netperf_tcp_rr(env, fwd, bwd, request_bytes=64,
+                            response_bytes=1024, transactions=5)
+        assert rr.request_bytes == 64 and rr.response_bytes == 1024
+        env2, fwd2, bwd2 = fresh_pair(cfg)
+        small = netperf_tcp_rr(env2, fwd2, bwd2, transactions=5)
+        assert rr.mean_rtt_s > small.mean_rtt_s
+
+    def test_validation(self):
+        env, fwd, bwd = fresh_pair()
+        with pytest.raises(MeasurementError):
+            netperf_tcp_rr(env, fwd, bwd, request_bytes=0)
+        with pytest.raises(MeasurementError):
+            netperf_tcp_rr(env, fwd, bwd, transactions=0)
+
+
+class TestBidirectional:
+    def test_both_directions_complete(self):
+        env, fwd, bwd = fresh_pair()
+        result = nttcp_bidirectional(env, fwd, bwd, payload=8948,
+                                     count=128)
+        assert result.forward.bytes_delivered == 8948 * 128
+        assert result.backward.bytes_delivered == 8948 * 128
+
+    def test_aggregate_exceeds_unidirectional(self):
+        """Full-duplex: two opposing flows beat one flow's goodput
+        (they contend on host CPUs, not the wire)."""
+        env, fwd, bwd = fresh_pair()
+        bidir = nttcp_bidirectional(env, fwd, bwd, payload=8948,
+                                    count=192)
+        env2, fwd2, _ = fresh_pair()
+        uni = nttcp_run(env2, fwd2, payload=8948, count=192)
+        assert bidir.aggregate_bps > uni.goodput_bps * 1.15
+
+    def test_per_direction_slower_than_unidirectional(self):
+        """...but each direction pays for sharing its hosts."""
+        env, fwd, bwd = fresh_pair()
+        bidir = nttcp_bidirectional(env, fwd, bwd, payload=8948,
+                                    count=192)
+        env2, fwd2, _ = fresh_pair()
+        uni = nttcp_run(env2, fwd2, payload=8948, count=192)
+        assert bidir.forward.goodput_bps < uni.goodput_bps
+
+    def test_validation(self):
+        env, fwd, bwd = fresh_pair()
+        with pytest.raises(MeasurementError):
+            nttcp_bidirectional(env, fwd, bwd, payload=0, count=5)

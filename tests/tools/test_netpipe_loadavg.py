@@ -1,0 +1,99 @@
+"""Tests for NetPipe and the loadavg sampler."""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.errors import MeasurementError
+from repro.net.topology import BackToBack
+from repro.sim import Environment
+from repro.tcp.connection import TcpConnection
+from repro.tools.loadavg import LoadSampler
+from repro.tools.netpipe import netpipe_latency, netpipe_sweep
+
+
+def make_pair(coalescing_us=5.0):
+    env = Environment()
+    cfg = TuningConfig(mtu=1500, mmrbc=4096, smp_kernel=False,
+                       interrupt_coalescing_us=coalescing_us)
+    bb = BackToBack.create(env, cfg)
+    return env, TcpConnection(env, bb.a, bb.b), TcpConnection(env, bb.b, bb.a)
+
+
+def test_single_byte_latency_near_paper():
+    env, fwd, bwd = make_pair()
+    r = netpipe_latency(env, fwd, bwd, payload=1, iterations=5)
+    assert r.latency_us == pytest.approx(19.0, abs=1.5)
+
+
+def test_latency_grows_with_payload():
+    env, fwd, bwd = make_pair()
+    small = netpipe_latency(env, fwd, bwd, payload=1, iterations=4)
+    env2, fwd2, bwd2 = make_pair()
+    large = netpipe_latency(env2, fwd2, bwd2, payload=1024, iterations=4)
+    assert large.latency_s > small.latency_s
+
+
+def test_coalescing_off_saves_five_microseconds():
+    env, fwd, bwd = make_pair(5.0)
+    on = netpipe_latency(env, fwd, bwd, payload=1, iterations=4)
+    env2, fwd2, bwd2 = make_pair(0.0)
+    off = netpipe_latency(env2, fwd2, bwd2, payload=1, iterations=4)
+    assert on.latency_us - off.latency_us == pytest.approx(5.0, abs=1.0)
+
+
+def test_rtt_is_twice_latency():
+    env, fwd, bwd = make_pair()
+    r = netpipe_latency(env, fwd, bwd, payload=1, iterations=4)
+    assert r.rtt_s == pytest.approx(2 * r.latency_s)
+
+
+def test_invalid_args():
+    env, fwd, bwd = make_pair()
+    with pytest.raises(MeasurementError):
+        netpipe_latency(env, fwd, bwd, payload=0)
+    with pytest.raises(MeasurementError):
+        netpipe_latency(env, fwd, bwd, payload=1, iterations=0)
+
+
+def test_sweep_produces_monotone_ish_curve():
+    results = netpipe_sweep(make_pair, payloads=(1, 256, 1024),
+                            iterations=4)
+    lats = [r.latency_us for r in results]
+    assert lats[0] < lats[-1]
+
+
+def test_load_sampler_records_busy_host():
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+    conn = TcpConnection(env, bb.a, bb.b)
+    sampler = LoadSampler(env, bb.b, interval_s=0.002)
+    sampler.start()
+
+    def app():
+        yield from conn.send_stream(8948, 256)
+        yield from conn.wait_delivered(8948 * 256)
+
+    env.run(until=env.process(app()))
+    sampler.stop()
+    assert len(sampler.samples) >= 2
+    assert 0.05 < sampler.mean_load() <= 1.0
+
+
+def test_load_sampler_idle_host_is_zero():
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.stock())
+    sampler = LoadSampler(env, bb.a, interval_s=0.001)
+    sampler.start()
+    env.run(until=0.005)
+    sampler.stop()
+    assert sampler.mean_load() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_load_sampler_validation():
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.stock())
+    with pytest.raises(MeasurementError):
+        LoadSampler(env, bb.a, interval_s=0)
+    s = LoadSampler(env, bb.a)
+    with pytest.raises(MeasurementError):
+        s.mean_load()

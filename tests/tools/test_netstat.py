@@ -1,0 +1,61 @@
+"""Tests for the netstat-style snapshots."""
+
+import pytest
+
+from repro.config import TuningConfig
+from repro.net.topology import BackToBack
+from repro.sim import Environment
+from repro.tcp.connection import TcpConnection
+from repro.tools.netstat import (
+    diff_snapshots,
+    snapshot_connection,
+    snapshot_host,
+)
+from repro.tools.nttcp import nttcp_run
+
+
+@pytest.fixture(scope="module")
+def run():
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+    conn = TcpConnection(env, bb.a, bb.b)
+    before = snapshot_host(bb.b)
+    nttcp_run(env, conn, 8948, 128)
+    return env, bb, conn, before
+
+
+def test_host_snapshot_counts_traffic(run):
+    env, bb, conn, before = run
+    snap = snapshot_host(bb.b)
+    assert snap["host"] == "hostB"
+    assert snap["hostB.eth0.rx_frames"] >= 128
+    assert snap["hostB.eth0.tx_frames"] > 0          # ACKs
+    assert snap["pcix_bytes"] > 128 * 8948
+    assert 0 <= snap["pcix_utilization"] <= 1
+
+
+def test_connection_snapshot_consistent(run):
+    env, bb, conn, before = run
+    snap = snapshot_connection(conn)
+    assert snap["bytes_delivered"] == 128 * 8948
+    assert snap["snd_una"] == snap["rcv_nxt"] == 128 * 8948
+    assert snap["bytes_in_flight"] == 0
+    assert snap["segments_sent"] == 128
+    assert snap["retransmitted"] == 0
+    assert snap["srtt_us"] is not None and snap["srtt_us"] > 0
+    assert snap["advertised_window"] % conn.receiver.align_mss == 0
+
+
+def test_diff_snapshots(run):
+    env, bb, conn, before = run
+    after = snapshot_host(bb.b)
+    delta = diff_snapshots(before, after)
+    assert delta["hostB.eth0.rx_frames"] >= 128
+    assert delta["host"] == "hostB"      # non-numeric carried through
+
+
+def test_interrupt_coalescing_visible_in_counters(run):
+    env, bb, conn, before = run
+    snap = snapshot_host(bb.b)
+    # with coalescing, interrupts < frames
+    assert snap["hostB.eth0.interrupts"] <= snap["hostB.eth0.rx_frames"]
