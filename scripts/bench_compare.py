@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Run the simulator microbenchmarks and gate on regressions.
+
+Runs the pytest-benchmark suite (the engine microbenches by default),
+archives the machine-readable results as
+``benchmarks/results/BENCH_<rev>.json`` and diffs them against the most
+recent previous ``BENCH_*.json``.  Exits non-zero when any engine
+microbench (``test_engine_*``) regresses by more than the threshold
+(default 20% on mean time per round), so CI — or a pre-merge habit —
+catches simulator slowdowns the same way the tests catch wrong numbers.
+
+Usage::
+
+    python scripts/bench_compare.py                 # engine microbenches
+    python scripts/bench_compare.py --all           # every benchmark
+    python scripts/bench_compare.py --baseline benchmarks/results/BENCH_abc1234.json
+    python scripts/bench_compare.py --threshold 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+from typing import Dict, List, Optional
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+RESULTS_DIR = ROOT / "benchmarks" / "results"
+ENGINE_PREFIX = "test_engine_"
+
+
+def git_rev() -> str:
+    """Short revision of the working tree (``-dirty`` when modified)."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return rev + ("-dirty" if dirty else "")
+
+
+def run_benchmarks(out_path: pathlib.Path, everything: bool) -> None:
+    """Run pytest-benchmark, writing its JSON report to ``out_path``."""
+    target = "benchmarks/" if everything else "benchmarks/test_bench_simulator.py"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [sys.executable, "-m", "pytest", target, "--benchmark-only",
+           f"--benchmark-json={out_path}", "-q"]
+    print(f"$ {' '.join(cmd)}")
+    result = subprocess.run(cmd, cwd=ROOT, env=env)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+
+
+def load_means(path: pathlib.Path) -> Dict[str, float]:
+    """``{test name: mean seconds per round}`` from a benchmark JSON."""
+    data = json.loads(path.read_text())
+    return {bench["name"]: bench["stats"]["mean"]
+            for bench in data.get("benchmarks", [])}
+
+
+def previous_report(current: pathlib.Path) -> Optional[pathlib.Path]:
+    """The newest BENCH_*.json that is not the current one."""
+    candidates = [p for p in RESULTS_DIR.glob("BENCH_*.json") if p != current]
+    return max(candidates, key=lambda p: p.stat().st_mtime, default=None)
+
+
+def compare(old: Dict[str, float], new: Dict[str, float],
+            threshold: float) -> List[str]:
+    """Print the per-bench diff; return the names that regressed."""
+    regressed: List[str] = []
+    width = max((len(n) for n in new), default=4)
+    print(f"\n{'benchmark':<{width}}  {'old (s)':>12}  {'new (s)':>12}  delta")
+    for name in sorted(new):
+        new_mean = new[name]
+        old_mean = old.get(name)
+        if old_mean is None or old_mean <= 0:
+            print(f"{name:<{width}}  {'-':>12}  {new_mean:>12.6f}  (new)")
+            continue
+        delta = new_mean / old_mean - 1.0
+        flag = ""
+        if name.startswith(ENGINE_PREFIX) and delta > threshold:
+            regressed.append(name)
+            flag = "  REGRESSION"
+        print(f"{name:<{width}}  {old_mean:>12.6f}  {new_mean:>12.6f}  "
+              f"{delta:+7.1%}{flag}")
+    return regressed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run benchmarks, archive BENCH_<rev>.json, fail on "
+                    "engine regressions.")
+    parser.add_argument("--all", action="store_true",
+                        help="run every benchmark, not just the engine "
+                             "microbenches")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="explicit BENCH_*.json to diff against "
+                             "(default: newest previous one)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated mean-time increase for "
+                             "test_engine_* benches (default 0.20 = 20%%)")
+    parser.add_argument("--rev", default=None,
+                        help="revision label for the output file "
+                             "(default: git short rev)")
+    args = parser.parse_args(argv)
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    rev = args.rev or git_rev()
+    out_path = RESULTS_DIR / f"BENCH_{rev}.json"
+    run_benchmarks(out_path, everything=args.all)
+    new = load_means(out_path)
+    print(f"\nwrote {out_path} ({len(new)} benchmarks)")
+
+    baseline = args.baseline or previous_report(out_path)
+    if baseline is None:
+        print("no previous BENCH_*.json to compare against; baseline recorded.")
+        return 0
+    print(f"comparing against {baseline}")
+    regressed = compare(load_means(baseline), new, args.threshold)
+    if regressed:
+        print(f"\nFAIL: engine microbench regression(s) over "
+              f"{args.threshold:.0%}: {', '.join(regressed)}")
+        return 1
+    print(f"\nOK: no engine microbench regressed more than "
+          f"{args.threshold:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

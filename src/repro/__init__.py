@@ -18,9 +18,11 @@ or regenerate a paper artifact directly::
     print(run_experiment("tab1").text)
 """
 
+from repro.cache import ResultCache, cache_context, cache_stats, clear_cache
 from repro.config import TuningConfig
 from repro.errors import ReproError
 from repro.sim.engine import Environment
+from repro.sim.runner import SweepRunner, job_context
 from repro.hw.host import Host
 from repro.hw.presets import (
     GBE_HOST,
@@ -67,5 +69,11 @@ __all__ = [
     "WanRecordRun",
     "run_experiment",
     "experiment_ids",
+    "SweepRunner",
+    "job_context",
+    "ResultCache",
+    "cache_context",
+    "cache_stats",
+    "clear_cache",
     "__version__",
 ]

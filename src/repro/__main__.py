@@ -4,10 +4,16 @@ Usage::
 
     python -m repro --list
     python -m repro fig3 tab1 wan
-    python -m repro all --full --out results/
+    python -m repro all --full --jobs auto --out results/
+    python -m repro --cache-stats
+    python -m repro --clear-cache
 
 Each named experiment prints the same rows/series the paper reports
 (see the index in DESIGN.md) and optionally archives the text.
+Independent simulation points fan out over ``--jobs`` worker processes
+(default: ``REPRO_JOBS`` or serial; results are bit-identical either
+way), and completed work is memoized under ``.repro-cache/`` so warm
+reruns are near-instant (``--no-cache`` forces recomputation).
 """
 
 from __future__ import annotations
@@ -19,6 +25,9 @@ import time
 from typing import List
 
 from repro.analysis.experiments import experiment_ids, run_experiment
+from repro.cache import cache_stats, clear_cache
+from repro.errors import ConfigError
+from repro.sim.runner import resolve_jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,6 +43,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="paper-scale averaging (slower)")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="directory to archive reports into")
+    parser.add_argument("--jobs", "-j", default=None, metavar="N",
+                        help="worker processes for independent simulation "
+                             "points ('auto' = one per core; default: "
+                             "$REPRO_JOBS or serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print result-cache statistics and exit")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="empty the result cache and exit")
     return parser
 
 
@@ -43,6 +62,22 @@ def main(argv: List[str] = None) -> int:
         for name in experiment_ids():
             print(name)
         return 0
+    if args.cache_stats:
+        stats = cache_stats()
+        print(f"cache {stats.path}: {stats.entries} entries, "
+              f"{stats.size_bytes / 1e6:.2f} MB "
+              f"(this process: {stats.hits} hits / {stats.misses} misses)")
+        return 0
+    if args.clear_cache:
+        removed = clear_cache()
+        print(f"cleared {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    if args.jobs is not None:
+        try:
+            resolve_jobs(args.jobs)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     names = args.experiments
     if not names:
         build_parser().print_help()
@@ -58,7 +93,8 @@ def main(argv: List[str] = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
     for name in names:
         start = time.time()
-        output = run_experiment(name, quick=not args.full)
+        output = run_experiment(name, quick=not args.full, jobs=args.jobs,
+                                cache=not args.no_cache)
         elapsed = time.time() - start
         banner = f"=== {name} ({elapsed:.1f}s) "
         print(banner + "=" * max(0, 72 - len(banner)))

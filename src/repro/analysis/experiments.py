@@ -9,15 +9,27 @@ per-experiment index in DESIGN.md).
 
 Runners accept a ``quick`` flag: True (default) uses scaled-down sweep
 resolution suitable for CI; False approaches paper-scale averaging.
+
+``run_experiment`` additionally threads two performance knobs through
+every runner:
+
+* ``jobs`` — worker processes for the independent simulation points
+  inside an experiment (sweep payloads, MTUs, buffer factors, probes).
+  Results are bit-identical at any job count.
+* ``cache`` — the on-disk result cache (see :mod:`repro.cache`): both
+  individual points and whole experiment outputs are memoized keyed by
+  configuration + code fingerprint, so warm reruns are near-instant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.cache import active_cache, cache_context, code_fingerprint
 from repro.config import TuningConfig
 from repro.errors import MeasurementError
+from repro.sim.runner import SweepRunner, job_context
 from repro.units import Gbps
 
 __all__ = ["ExperimentOutput", "EXPERIMENTS", "run_experiment",
@@ -49,15 +61,42 @@ def experiment_ids() -> List[str]:
     return sorted(_RUNNERS)
 
 
-def run_experiment(name: str, quick: bool = True) -> ExperimentOutput:
-    """Regenerate one paper artifact by id (see DESIGN.md index)."""
+def run_experiment(name: str, quick: bool = True,
+                   jobs: Optional[int] = None,
+                   cache: Any = None) -> ExperimentOutput:
+    """Regenerate one paper artifact by id (see DESIGN.md index).
+
+    ``jobs`` fans the experiment's independent simulation points out
+    over that many worker processes (None: ``REPRO_JOBS`` or serial);
+    the returned ``data`` is bit-identical at any job count.  ``cache``
+    activates the on-disk result cache for this call: True for the
+    default ``.repro-cache/``, False to force recomputation, a
+    :class:`repro.cache.ResultCache` to use a specific store, or None
+    to inherit the ambient setting (``REPRO_CACHE`` / an enclosing
+    :func:`repro.cache.cache_context`).
+    """
     try:
         runner = _RUNNERS[name]
     except KeyError:
         raise MeasurementError(
             f"unknown experiment {name!r}; known: {experiment_ids()}"
         ) from None
-    return runner(quick)
+    with job_context(jobs), cache_context(cache):
+        store = active_cache()
+        if store is not None:
+            # Whole-output memoization on top of per-point caching: a
+            # warm rerun skips even the reporting/analysis layer.  The
+            # job count is deliberately not part of the key — parallel
+            # and serial runs produce identical outputs.
+            key = store.key("experiment-output", name, bool(quick),
+                            code_fingerprint())
+            hit, value = store.get(key)
+            if hit:
+                return value
+        output = runner(quick)
+        if store is not None:
+            store.put(key, output)
+        return output
 
 
 # ---------------------------------------------------------------------------
@@ -270,11 +309,26 @@ def _fig8(quick: bool = True) -> ExperimentOutput:
 # Table 1: AIMD recovery times
 # ---------------------------------------------------------------------------
 
+def _tab1_row(task: tuple) -> Dict[str, Any]:
+    """One Table 1 case (module-level for the parallel runner)."""
+    from repro.tcp.analytic import recovery_time_s
+
+    path, bw, rtt, mss = task
+    t = recovery_time_s(bw, rtt, mss)
+    return {
+        "path": path,
+        "bandwidth_gbps": bw / 1e9,
+        "rtt_ms": rtt * 1e3,
+        "mss_bytes": mss,
+        "recovery": _fmt_duration(t),
+        "recovery_s": t,
+    }
+
+
 @_register("tab1")
 def _tab1(quick: bool = True) -> ExperimentOutput:
     """Table 1: time to recover from a single packet loss."""
     from repro.analysis.tables import format_table
-    from repro.tcp.analytic import recovery_time_s
 
     cases = [
         ("LAN", Gbps(10), 0.0002, 1460),
@@ -284,17 +338,7 @@ def _tab1(quick: bool = True) -> ExperimentOutput:
         ("Geneva-Sunnyvale", Gbps(10), 0.180, 1460),
         ("Geneva-Sunnyvale", Gbps(10), 0.180, 8960),
     ]
-    rows = []
-    for path, bw, rtt, mss in cases:
-        t = recovery_time_s(bw, rtt, mss)
-        rows.append({
-            "path": path,
-            "bandwidth_gbps": bw / 1e9,
-            "rtt_ms": rtt * 1e3,
-            "mss_bytes": mss,
-            "recovery": _fmt_duration(t),
-            "recovery_s": t,
-        })
+    rows = SweepRunner().map(_tab1_row, cases, cache_ns="tab1-row")
     return ExperimentOutput(
         experiment="tab1",
         text=format_table(rows, title="Table 1: single-loss recovery time "
@@ -317,17 +361,27 @@ def _fmt_duration(t: float) -> str:
 # §3.5.2 bottleneck decomposition
 # ---------------------------------------------------------------------------
 
+def _multiflow_probe(task: tuple):
+    """One §3.5.2 probe (module-level for the parallel runner)."""
+    from repro.core.bottleneck import BottleneckStudy
+
+    n_clients, duration_s, probe = task
+    study = BottleneckStudy(n_clients=n_clients, duration_s=duration_s)
+    return getattr(study, probe)()
+
+
 @_register("multiflow")
 def _multiflow(quick: bool = True) -> ExperimentOutput:
     """§3.5.2: RX/TX symmetry and the dual-adapter test."""
     from repro.analysis.tables import format_kv
-    from repro.core.bottleneck import BottleneckStudy
 
-    study = BottleneckStudy(n_clients=4 if quick else 8,
-                            duration_s=0.01 if quick else 0.04)
-    rx = study.receive_path()
-    tx = study.transmit_path()
-    dual = study.dual_adapters()
+    n_clients = 4 if quick else 8
+    duration_s = 0.01 if quick else 0.04
+    rx, tx, dual = SweepRunner().map(
+        _multiflow_probe,
+        [(n_clients, duration_s, probe)
+         for probe in ("receive_path", "transmit_path", "dual_adapters")],
+        cache_ns="multiflow-probe")
     summary = {
         "rx_aggregate_gbps": rx.aggregate_gbps,
         "tx_aggregate_gbps": tx.aggregate_gbps,
@@ -445,13 +499,9 @@ def _anecdotal(quick: bool = True) -> ExperimentOutput:
 # §3.5.4 comparison and §4 WAN
 # ---------------------------------------------------------------------------
 
-@_register("mtu_scan")
-def _mtu_scan(quick: bool = True) -> ExperimentOutput:
-    """Peak goodput vs MTU across the adapter's range: the allocator's
-    block boundaries carve the §3.3 sawtooth (8160 beats 9000; the next
-    win sits just under the 16 KB + headers boundary)."""
-    from repro.analysis.figures import Figure, Series
-    from repro.analysis.tables import format_table
+def _mtu_scan_point(task: tuple) -> Dict[str, Any]:
+    """One MTU point on a fresh tuned testbed (module-level for the
+    parallel runner)."""
     from repro.net.topology import BackToBack
     from repro.oskernel.allocator import block_size_for
     from repro.sim.engine import Environment
@@ -459,23 +509,35 @@ def _mtu_scan(quick: bool = True) -> ExperimentOutput:
     from repro.tcp.mss import mss_for_mtu
     from repro.tools.nttcp import nttcp_run
 
+    mtu, count = task
+    cfg = TuningConfig.fully_tuned(mtu)
+    payload = mss_for_mtu(mtu, cfg.tcp_timestamps)
+    env = Environment()
+    bb = BackToBack.create(env, cfg)
+    conn = TcpConnection(env, bb.a, bb.b)
+    result = nttcp_run(env, conn, payload, count)
+    return {
+        "mtu": mtu,
+        "frame_block": block_size_for(mtu + 18),
+        "goodput_gbps": round(result.goodput_gbps, 2),
+        "rx_load": round(result.receiver_load, 2),
+    }
+
+
+@_register("mtu_scan")
+def _mtu_scan(quick: bool = True) -> ExperimentOutput:
+    """Peak goodput vs MTU across the adapter's range: the allocator's
+    block boundaries carve the §3.3 sawtooth (8160 beats 9000; the next
+    win sits just under the 16 KB + headers boundary)."""
+    from repro.analysis.figures import Figure, Series
+    from repro.analysis.tables import format_table
+
     mtus = (1500, 3000, 4050, 4500, 6000, 8160, 9000, 12000, 16000) \
         if quick else tuple(range(1500, 16001, 500)) + (8160, 16000)
     count = 512 if quick else 2048
-    rows = []
-    for mtu in sorted(set(mtus)):
-        cfg = TuningConfig.fully_tuned(mtu)
-        payload = mss_for_mtu(mtu, cfg.tcp_timestamps)
-        env = Environment()
-        bb = BackToBack.create(env, cfg)
-        conn = TcpConnection(env, bb.a, bb.b)
-        result = nttcp_run(env, conn, payload, count)
-        rows.append({
-            "mtu": mtu,
-            "frame_block": block_size_for(mtu + 18),
-            "goodput_gbps": round(result.goodput_gbps, 2),
-            "rx_load": round(result.receiver_load, 2),
-        })
+    rows = SweepRunner().map(
+        _mtu_scan_point, [(mtu, count) for mtu in sorted(set(mtus))],
+        cache_ns="mtu-scan")
     fig = Figure(title="Peak goodput vs MTU (fully tuned)",
                  xlabel="MTU (bytes)", ylabel="Gb/s")
     fig.add(Series("tuned", [r["mtu"] for r in rows],

@@ -19,6 +19,7 @@ from repro.hw.presets import HostSpec, PE2650
 from repro.core.optimizations import LAN_OPTIMIZATION_LADDER, OptimizationStep
 from repro.net.topology import BackToBack
 from repro.sim.engine import Environment
+from repro.sim.runner import SweepRunner
 from repro.tcp.connection import TcpConnection
 from repro.tcp.mss import mss_for_mtu
 from repro.tools.nttcp import (
@@ -29,6 +30,17 @@ from repro.tools.nttcp import (
 )
 
 __all__ = ["CaseStudy", "StepResult", "SweepCurve"]
+
+
+def _sweep_point(task: Tuple[HostSpec, Calibration, TuningConfig, int, int]
+                 ) -> NttcpResult:
+    """One NTTCP point on a fresh testbed (module-level so the parallel
+    runner can ship it to worker processes)."""
+    spec, calibration, config, payload, write_count = task
+    env = Environment()
+    bb = BackToBack.create(env, config, spec=spec, calibration=calibration)
+    conn = TcpConnection(env, bb.a, bb.b)
+    return nttcp_run(env, conn, payload, write_count)
 
 
 @dataclass
@@ -109,33 +121,41 @@ class CaseStudy:
         NTTCP writes per point (scaled default; see tools.nttcp).
     points:
         Payload-grid resolution per sweep.
+    jobs:
+        Worker processes for the payload sweeps (None: the ambient
+        :func:`repro.sim.runner.resolve_jobs` setting — ``REPRO_JOBS``
+        or the enclosing ``job_context``).  Results are bit-identical
+        at any job count; only wall-clock changes.
     """
 
     def __init__(self, spec: HostSpec = PE2650,
                  write_count: int = DEFAULT_WRITE_COUNT,
                  points: int = 16,
-                 calibration: Calibration = DEFAULT_CALIBRATION):
+                 calibration: Calibration = DEFAULT_CALIBRATION,
+                 jobs: Optional[int] = None):
         self.spec = spec
         self.write_count = write_count
         self.points = points
         self.calibration = calibration
+        self.jobs = jobs
 
     # -- building blocks ----------------------------------------------------------
     def sweep(self, config: TuningConfig,
               payloads: Optional[Sequence[int]] = None,
               label: str = "") -> SweepCurve:
-        """One full NTTCP payload sweep under ``config``."""
+        """One full NTTCP payload sweep under ``config``.
+
+        Points are independent simulations, so they fan out over the
+        parallel runner and memoize through the active result cache.
+        """
         mss = mss_for_mtu(config.mtu, config.tcp_timestamps)
         if payloads is None:
             payloads = default_payloads(mss, points=self.points)
         curve = SweepCurve(label=label or config.describe(), config=config)
-        for payload in payloads:
-            env = Environment()
-            bb = BackToBack.create(env, config, spec=self.spec,
-                                   calibration=self.calibration)
-            conn = TcpConnection(env, bb.a, bb.b)
-            curve.points.append(
-                nttcp_run(env, conn, payload, self.write_count))
+        tasks = [(self.spec, self.calibration, config, payload,
+                  self.write_count) for payload in payloads]
+        curve.points.extend(SweepRunner(self.jobs).map(
+            _sweep_point, tasks, cache_ns="nttcp-sweep"))
         return curve
 
     # -- the ladder -------------------------------------------------------------

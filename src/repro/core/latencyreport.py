@@ -21,10 +21,27 @@ from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hw.presets import HostSpec, PE2650
 from repro.net.topology import BackToBack, ThroughSwitch
 from repro.sim.engine import Environment
+from repro.sim.runner import SweepRunner
 from repro.tcp.connection import TcpConnection
 from repro.tools.netpipe import NetpipeResult, netpipe_latency
 
 __all__ = ["LatencyStudy", "LatencyCurve", "DEFAULT_LATENCY_PAYLOADS"]
+
+
+def _latency_point(task) -> NetpipeResult:
+    """One ping-pong measurement on a fresh testbed (module-level for
+    the parallel runner)."""
+    spec, calibration, config, through_switch, payload, iterations = task
+    env = Environment()
+    if through_switch:
+        topo = ThroughSwitch.create(env, config, spec=spec,
+                                    calibration=calibration)
+    else:
+        topo = BackToBack.create(env, config, spec=spec,
+                                 calibration=calibration)
+    forward = TcpConnection(env, topo.a, topo.b)
+    backward = TcpConnection(env, topo.b, topo.a)
+    return netpipe_latency(env, forward, backward, payload, iterations)
 
 #: Fig. 6/7 x-axis: single bytes up to 1 KB.
 DEFAULT_LATENCY_PAYLOADS = (1, 2, 4, 8, 16, 32, 64, 128, 192, 256, 384,
@@ -69,22 +86,12 @@ class LatencyStudy:
     """Regenerates Figures 6 and 7."""
 
     def __init__(self, spec: HostSpec = PE2650, iterations: int = 8,
-                 calibration: Calibration = DEFAULT_CALIBRATION):
+                 calibration: Calibration = DEFAULT_CALIBRATION,
+                 jobs: Optional[int] = None):
         self.spec = spec
         self.iterations = iterations
         self.calibration = calibration
-
-    def _make_pair(self, config: TuningConfig, through_switch: bool):
-        env = Environment()
-        if through_switch:
-            topo = ThroughSwitch.create(env, config, spec=self.spec,
-                                        calibration=self.calibration)
-        else:
-            topo = BackToBack.create(env, config, spec=self.spec,
-                                     calibration=self.calibration)
-        forward = TcpConnection(env, topo.a, topo.b)
-        backward = TcpConnection(env, topo.b, topo.a)
-        return env, forward, backward
+        self.jobs = jobs
 
     def measure(self, coalescing_us: float = 5.0,
                 through_switch: bool = False,
@@ -99,10 +106,10 @@ class LatencyStudy:
             + f", coalesce={coalescing_us:g}us",
             through_switch=through_switch,
             coalescing_us=coalescing_us)
-        for payload in payloads:
-            env, fwd, bwd = self._make_pair(config, through_switch)
-            curve.points.append(netpipe_latency(
-                env, fwd, bwd, payload, self.iterations))
+        tasks = [(self.spec, self.calibration, config, through_switch,
+                  payload, self.iterations) for payload in payloads]
+        curve.points.extend(SweepRunner(self.jobs).map(
+            _latency_point, tasks, cache_ns="netpipe-latency"))
         return curve
 
     def figure6(self) -> List[LatencyCurve]:

@@ -29,6 +29,7 @@ from repro.net.topology import build_wan_path
 from repro.net.wanpath import OC48_BPS, POS_OVERHEAD, SONET_PAYLOAD_FRACTION
 from repro.core.landspeed import LSR_2002, LSR_2003, land_speed_record_metric
 from repro.sim.engine import Environment
+from repro.sim.runner import SweepRunner
 from repro.tcp.analytic import bandwidth_delay_product
 from repro.tcp.connection import TcpConnection
 from repro.tcp.fluid import FluidParams, FluidResult, simulate_fluid
@@ -42,6 +43,14 @@ PATH_KM = 10037.0
 
 #: Measured RTT of the path.
 RTT_S = 0.180
+
+
+def _buffer_sweep_point(task) -> "WanOutcome":
+    """One buffer-sweep configuration (module-level for the parallel
+    runner; :class:`WanRecordRun` holds only plain picklable state)."""
+    run, buf, duration_s, label = task
+    return run.run_fluid(buffer_bytes=buf, duration_s=duration_s,
+                         label=label)
 
 
 @dataclass(frozen=True)
@@ -167,13 +176,11 @@ class WanRecordRun:
         BDP-sized buffer — showing the paper's point that both too-small
         *and* too-large buffers lose (Table 1 context: 'setting the
         socket buffer too large can severely impact performance')."""
-        outcomes = []
-        for factor in factors:
-            buf = max(4096, int(self.bdp_buffer_bytes() * factor))
-            outcomes.append(self.run_fluid(
-                buffer_bytes=buf, duration_s=duration_s,
-                label=f"{factor:g}x BDP buffer"))
-        return outcomes
+        tasks = [(self, max(4096, int(self.bdp_buffer_bytes() * factor)),
+                  duration_s, f"{factor:g}x BDP buffer")
+                 for factor in factors]
+        return SweepRunner().map(_buffer_sweep_point, tasks,
+                                 cache_ns="wan-buffer-sweep")
 
     # -- DES cross-check -------------------------------------------------------------
     def run_des_scaled(self, scale: float = 0.1,

@@ -37,7 +37,7 @@ class CpuComplex:
             return
         req = self.resource.request()
         yield req
-        yield self.env.timeout(cost_s)
+        yield self.env._fast_timeout(cost_s)
         self.resource.release(req)
 
     # -- load reporting ---------------------------------------------------------

@@ -70,7 +70,7 @@ class MchLink:
         hold = self.transfer_time(nbytes, mmrbc)
         req = self.bus.request()
         yield req
-        yield self.env.timeout(hold)
+        yield self.env._fast_timeout(hold)
         self.bus.release(req)
         self.bytes_moved += nbytes
 

@@ -116,7 +116,7 @@ class TenGigAdapter:
             skb = yield self.txq.get()
             # DMA the frame (or super-segment) across PCI-X.
             yield from self.pcix.dma(skb.frame_bytes, cfg.mmrbc)
-            yield self.env.timeout(self.host.costs.nic_traverse_s)
+            yield self.env._fast_timeout(self.host.costs.nic_traverse_s)
             for frame in self._wire_frames(skb):
                 self._egress.transmit(frame)
                 self.tx_frames.add()
@@ -152,7 +152,7 @@ class TenGigAdapter:
     def _rx_dma(self, skb: SkBuff):
         # DMA into host memory, then post toward the interrupt unit.
         yield from self.pcix.dma(skb.frame_bytes, self.host.config.mmrbc)
-        yield self.env.timeout(self.host.costs.nic_traverse_s
+        yield self.env._fast_timeout(self.host.costs.nic_traverse_s
                                + self.host.costs.rx_fixed_pad_s)
         self._rx_pending.append(skb)
         self.moderator.note_arrival(self.env.now)

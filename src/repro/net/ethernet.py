@@ -105,7 +105,7 @@ class EthernetLink:
     def _send(self, skb: SkBuff):
         req = self._tx.request()
         yield req
-        yield self.env.timeout(wire_time(skb, self.rate_bps))
+        yield self.env._fast_timeout(wire_time(skb, self.rate_bps))
         self._tx.release(req)
         self.frames.add()
         self.bytes.add(skb.wire_bytes)

@@ -82,7 +82,7 @@ class PosCircuit:
     def _send(self, skb: SkBuff):
         req = self._tx.request()
         yield req
-        yield self.env.timeout(self.serialization_time(skb))
+        yield self.env._fast_timeout(self.serialization_time(skb))
         self._tx.release(req)
         self.frames.add()
         self.env.schedule_call(self.propagation_s,

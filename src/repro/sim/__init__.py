@@ -12,10 +12,15 @@ from repro.sim.engine import Environment, Event, Timeout, Process, Interrupt
 from repro.sim.resources import Resource, Request, Store, StorePut, StoreGet
 from repro.sim.monitor import Monitor, CounterMonitor, UtilizationMonitor
 from repro.sim.rng import RngStreams
+from repro.sim.runner import SweepRunner, job_context, point_seed, resolve_jobs
 from repro.sim.trace import TraceBuffer, TraceEvent
 
 __all__ = [
     "Environment",
+    "SweepRunner",
+    "job_context",
+    "point_seed",
+    "resolve_jobs",
     "Event",
     "Timeout",
     "Process",

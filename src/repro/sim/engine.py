@@ -11,18 +11,30 @@ Design notes
   resumes it (``send``/``throw``) when the event fires.  This is the same
   execution model as SimPy's, reduced to the features the repro needs.
 * Following the profiling guidance in the HPC-Python guides the hot path
-  (``Environment.step``) avoids attribute lookups in the inner loop and
-  allocates nothing beyond the events themselves.
+  (the dispatch loop inlined into ``Environment.run``) avoids attribute
+  lookups in the inner loop and allocates nothing beyond the events
+  themselves.  Internal model code can additionally use
+  :meth:`Environment._fast_timeout`, which recycles processed
+  :class:`Timeout` objects through a free pool instead of allocating a
+  fresh one per event.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.errors import ScheduleInPastError, SimulationError
 
 __all__ = ["Environment", "Event", "Timeout", "Process", "Interrupt"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+
+def _noop(event: "Event") -> None:
+    """Marker callback: registers interest in an event without acting."""
 
 
 class Interrupt(Exception):
@@ -41,7 +53,8 @@ class Event:
     :meth:`succeed` or :meth:`fail` to trigger it.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "_pooled")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -50,6 +63,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._pooled = False
 
     # -- state inspection --------------------------------------------------
     @property
@@ -80,7 +94,10 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env._schedule(self, delay)
+        if delay == 0.0:
+            self.env._schedule_at(self, self.env._now)
+        else:
+            self.env._schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -92,7 +109,10 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.env._schedule(self, delay)
+        if delay == 0.0:
+            self.env._schedule_at(self, self.env._now)
+        else:
+            self.env._schedule(self, delay)
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -123,12 +143,18 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ScheduleInPastError(f"negative timeout: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        # Inlined Event.__init__ + scheduling: Timeouts are the single
+        # most-allocated object in a simulation, so skip the extra calls.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        self._pooled = False
+        env._seq += 1
+        _heappush(env._queue, (env._now + delay, env._seq, self))
 
 
 class Process(Event):
@@ -149,10 +175,12 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        # Bootstrap: resume the process at the current time.
+        # Bootstrap: resume the process at the current time (fast path —
+        # the init event needs none of succeed()'s re-trigger checks).
         init = Event(env)
-        init.succeed()
-        init.add_callback(self._resume)
+        init._triggered = True
+        init.callbacks.append(self._resume)
+        env._schedule_at(init, env._now)
 
     @property
     def is_alive(self) -> bool:
@@ -214,7 +242,7 @@ class Process(Event):
         self._triggered = True
         self._ok = ok
         self._value = value
-        self.env._schedule(self, 0.0)
+        self.env._schedule_at(self, self.env._now)
         if not ok and not self.callbacks:
             # Nobody is waiting on this process: surface the crash rather
             # than swallowing it (mirrors SimPy's behaviour).
@@ -231,7 +259,8 @@ class Environment:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = 0
-        self._crashes: List[Tuple[Process, BaseException]] = []
+        self._crashes: Deque[Tuple[Process, BaseException]] = deque()
+        self._timeout_pool: List[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -246,6 +275,34 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def _fast_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A pooled timeout for trusted internal callers.
+
+        Identical semantics to :meth:`timeout` except the returned object
+        is recycled through a free pool once processed, so hot model
+        loops (CPU occupancy, DMA holds, wire times, poll loops) allocate
+        nothing in steady state.  Callers must *only* ``yield`` the
+        event and must not keep a reference to it after it fires —
+        holding one would observe the object being reused for a later,
+        unrelated timeout.
+        """
+        if delay < 0:
+            raise ScheduleInPastError(f"negative timeout: {delay!r}")
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev._processed = False
+            ev.delay = delay
+            self._seq += 1
+            _heappush(self._queue, (self._now + delay, self._seq, ev))
+            return ev
+        ev = Timeout(self, delay, value)
+        ev._pooled = True
+        return ev
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:
@@ -265,10 +322,22 @@ class Environment:
             raise ScheduleInPastError(
                 f"cannot schedule event {delay!r}s in the past")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        _heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def _schedule_at(self, event: Event, at_time: float) -> None:
+        """Fast-path scheduling at an absolute time for trusted internal
+        callers: skips the negative-delay validation of :meth:`_schedule`
+        (the caller guarantees ``at_time >= now``)."""
+        self._seq += 1
+        _heappush(self._queue, (at_time, self._seq, event))
 
     def _record_crash(self, process: Process, exc: BaseException) -> None:
         self._crashes.append((process, exc))
+
+    def _raise_crash(self) -> None:
+        process, exc = self._crashes.popleft()
+        raise SimulationError(
+            f"process {process.name!r} crashed: {exc!r}") from exc
 
     # -- execution -------------------------------------------------------------
     def peek(self) -> float:
@@ -279,17 +348,17 @@ class Environment:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        self._now, _, event = heapq.heappop(self._queue)
+        self._now, _, event = _heappop(self._queue)
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
         if callbacks:
             for fn in callbacks:
                 fn(event)
+        if event._pooled:
+            self._timeout_pool.append(event)
         if self._crashes:
-            process, exc = self._crashes.pop(0)
-            raise SimulationError(
-                f"process {process.name!r} crashed: {exc!r}") from exc
+            self._raise_crash()
 
     def run(self, until: Any = None) -> Any:
         """Run events until the queue empties, ``until`` fires or time passes.
@@ -297,32 +366,71 @@ class Environment:
         ``until`` may be ``None`` (drain the queue), a number (stop when the
         clock reaches it) or an :class:`Event` (stop when it fires; its
         value is returned — an exception value is raised).
+
+        The dispatch loop is :meth:`step` inlined three ways (drain /
+        until-event / horizon): per-event dispatch is the simulator's
+        single hottest path, and the method-call + attribute-lookup
+        overhead of delegating to ``step()`` is measurable at millions
+        of events per run.
         """
+        queue = self._queue
+        pool = self._timeout_pool
+        crashes = self._crashes
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                self._now, _, event = _heappop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+                if event._pooled:
+                    pool.append(event)
+                if crashes:
+                    self._raise_crash()
             return None
         if isinstance(until, Event):
-            done = {"flag": False}
-
-            def _mark(_ev: Event) -> None:
-                done["flag"] = True
-
-            until.add_callback(_mark)
-            while not done["flag"]:
-                if not self._queue:
+            # `callbacks` flips to None exactly when the event is
+            # processed — that is the loop condition.  The no-op marks
+            # `until` as waited-on so a failing process delivers its
+            # exception here instead of recording an unwaited crash.
+            if until.callbacks is not None:
+                until.callbacks.append(_noop)
+            while until.callbacks is not None:
+                if not queue:
                     raise SimulationError(
                         "event queue drained before `until` event fired")
-                self.step()
-            if not until.ok:
-                raise until.value
-            return until.value
+                self._now, _, event = _heappop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+                if event._pooled:
+                    pool.append(event)
+                if crashes:
+                    self._raise_crash()
+            if not until._ok:
+                raise until._value from None
+            return until._value
         horizon = float(until)
         if horizon < self._now:
             raise ScheduleInPastError(
                 f"run(until={horizon!r}) is before now={self._now!r}")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while queue and queue[0][0] <= horizon:
+            self._now, _, event = _heappop(queue)
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if callbacks:
+                for fn in callbacks:
+                    fn(event)
+            if event._pooled:
+                pool.append(event)
+            if crashes:
+                self._raise_crash()
         self._now = horizon
         return None
 

@@ -1,0 +1,139 @@
+"""Parallel sweep execution: fan independent simulation points over cores.
+
+Every experiment in this repository decomposes into *independent*
+end-to-end simulations — one fresh :class:`~repro.sim.engine.Environment`
+per payload size, MTU, buffer factor or probe.  :class:`SweepRunner`
+exploits that: it dispatches such points over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and collects results in
+submission order, so a parallel sweep is *bit-identical* to the serial
+one (each point is a deterministic pure function of its task tuple; only
+wall-clock changes).  With ``jobs=1`` no pool is created at all — the
+serial fallback runs the exact same function calls in-process.
+
+Job-count resolution (first match wins):
+
+1. an explicit ``jobs=`` argument,
+2. the innermost :func:`job_context` scope (how
+   ``run_experiment(..., jobs=N)`` reaches the sweeps inside),
+3. the ``REPRO_JOBS`` environment variable (``auto`` = one per core),
+4. serial (1).
+
+The runner also consults :func:`repro.cache.active_cache`: completed
+points are memoized keyed by (namespace, worker function, task tuple,
+code fingerprint), so only cache misses are dispatched at all.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+from repro.cache import active_cache, code_fingerprint, stable_key
+from repro.errors import ConfigError
+
+__all__ = ["SweepRunner", "resolve_jobs", "job_context", "point_seed"]
+
+_active_jobs: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_jobs", default=None)
+
+
+def resolve_jobs(jobs: Any = None) -> int:
+    """Resolve a job count following the precedence above (always >= 1)."""
+    if jobs is None:
+        jobs = _active_jobs.get()
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS", "").strip() or 1
+    if isinstance(jobs, str):
+        if jobs.lower() in ("auto", "all"):
+            jobs = os.cpu_count() or 1
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                raise ConfigError(
+                    f"job count must be an integer or 'auto', got {jobs!r}"
+                ) from None
+    jobs = int(jobs)
+    if jobs <= 0:  # 0 and negatives mean "one per core", like make -j
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+@contextlib.contextmanager
+def job_context(jobs: Any) -> Iterator[int]:
+    """Scope a job count so nested sweeps pick it up.
+
+    ``jobs=None`` is a no-op scope (inherit the surrounding setting).
+    """
+    if jobs is None:
+        yield resolve_jobs()
+        return
+    token = _active_jobs.set(resolve_jobs(jobs))
+    try:
+        yield resolve_jobs()
+    finally:
+        _active_jobs.reset(token)
+
+
+def point_seed(base_seed: int, index: int) -> int:
+    """A deterministic 64-bit seed for sweep point ``index``.
+
+    Derived by hashing rather than offsetting so neighbouring points get
+    statistically independent streams, and identical (base, index) pairs
+    get identical seeds in every process — serial and parallel runs see
+    the same randomness.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class SweepRunner:
+    """Ordered, optionally-parallel, optionally-cached point execution."""
+
+    def __init__(self, jobs: Any = None):
+        self.jobs = resolve_jobs(jobs)
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any],
+            cache_ns: Optional[str] = None) -> List[Any]:
+        """Apply ``fn`` to every task, returning results in task order.
+
+        ``fn`` must be a module-level callable and each task picklable
+        (they cross a process boundary when ``jobs > 1``).  When
+        ``cache_ns`` is given and a cache is active, completed points
+        are memoized; only misses are computed.
+        """
+        tasks = list(tasks)
+        results: List[Any] = [None] * len(tasks)
+        cache = active_cache() if cache_ns is not None else None
+        pending = list(range(len(tasks)))
+        keys: List[Optional[str]] = [None] * len(tasks)
+        if cache is not None:
+            fingerprint = code_fingerprint()
+            fn_id = f"{fn.__module__}.{fn.__qualname__}"
+            still_pending = []
+            for i in pending:
+                keys[i] = stable_key(cache_ns, fn_id, tasks[i], fingerprint)
+                hit, value = cache.get(keys[i])
+                if hit:
+                    results[i] = value
+                else:
+                    still_pending.append(i)
+            pending = still_pending
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [pool.submit(fn, tasks[i]) for i in pending]
+                    for i, future in zip(pending, futures):
+                        results[i] = future.result()
+            else:
+                for i in pending:
+                    results[i] = fn(tasks[i])
+            if cache is not None:
+                for i in pending:
+                    cache.put(keys[i], results[i])
+        return results

@@ -270,3 +270,87 @@ def test_nested_processes_three_deep():
     p = env.process(root())
     assert env.run(until=p) == 3
     assert env.now == 2.0
+
+
+def test_run_until_failing_process_raises_original_exception():
+    env = Environment()
+
+    def boom():
+        yield env.timeout(1.0)
+        raise ValueError("payload too large")
+
+    p = env.process(boom())
+    with pytest.raises(ValueError, match="payload too large") as excinfo:
+        env.run(until=p)
+    # raised `from None`: the original error, not a chained wrapper
+    assert excinfo.value.__suppress_context__
+
+
+def test_run_until_failed_event_raises_original_exception():
+    env = Environment()
+    ev = env.event()
+    env.schedule_call(1.0, ev.fail, RuntimeError("link down"))
+    with pytest.raises(RuntimeError, match="link down") as excinfo:
+        env.run(until=ev)
+    assert excinfo.value.__suppress_context__
+    assert env.now == 1.0
+
+
+def test_unwaited_crashes_surface_in_fifo_order():
+    env = Environment()
+
+    def boom(delay, msg):
+        yield env.timeout(delay)
+        raise RuntimeError(msg)
+
+    env.process(boom(1.0, "first"), name="p1")
+    env.process(boom(2.0, "second"), name="p2")
+    with pytest.raises(SimulationError, match="'p1' crashed"):
+        env.run()
+    with pytest.raises(SimulationError, match="'p2' crashed"):
+        env.run()
+
+
+def test_fast_timeout_recycles_processed_objects():
+    env = Environment()
+    seen = []
+
+    def proc():
+        for i in range(3):
+            ev = env._fast_timeout(1.0, value=i)
+            seen.append(id(ev))
+            got = yield ev
+            assert got == i
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert env.now == 3.0
+    # The generator asks for its next timeout while the previous one is
+    # still being dispatched (its recycle happens after callbacks), so
+    # two objects alternate — and nothing new is allocated after that.
+    assert seen[2] == seen[0]
+    assert len(set(seen)) == 2
+
+
+def test_fast_timeout_matches_timeout_semantics():
+    env = Environment()
+    log = []
+
+    def a():
+        yield env._fast_timeout(1.0)
+        log.append(("a", env.now))
+
+    def b():
+        yield env.timeout(1.0)
+        log.append(("b", env.now))
+
+    env.process(a())
+    env.process(b())
+    env.run()
+    assert log == [("a", 1.0), ("b", 1.0)]  # FIFO order preserved
+
+
+def test_fast_timeout_negative_rejected():
+    env = Environment()
+    with pytest.raises(ScheduleInPastError):
+        env._fast_timeout(-0.5)

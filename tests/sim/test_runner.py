@@ -1,0 +1,106 @@
+"""Unit tests for the parallel sweep runner."""
+
+import os
+
+import pytest
+
+from repro.cache import ResultCache, cache_context
+from repro.errors import ConfigError
+from repro.sim.runner import SweepRunner, job_context, point_seed, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_and_value(x):
+    return os.getpid(), x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_auto_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs("auto") == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs("many")
+
+    def test_context_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        with job_context(2):
+            assert resolve_jobs() == 2
+        assert resolve_jobs() == 5
+
+    def test_none_context_inherits(self):
+        with job_context(3):
+            with job_context(None):
+                assert resolve_jobs() == 3
+
+
+class TestPointSeed:
+    def test_deterministic(self):
+        assert point_seed(42, 7) == point_seed(42, 7)
+
+    def test_distinct_across_index_and_base(self):
+        seeds = {point_seed(base, i) for base in (0, 1) for i in range(100)}
+        assert len(seeds) == 200
+
+    def test_64_bit_range(self):
+        s = point_seed(123, 456)
+        assert 0 <= s < 2 ** 64
+
+
+class TestSweepRunner:
+    def test_serial_map_preserves_order(self):
+        assert SweepRunner(1).map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_map_preserves_order(self):
+        tasks = list(range(20))
+        assert SweepRunner(4).map(_square, tasks) == [x * x for x in tasks]
+
+    def test_parallel_actually_uses_workers(self):
+        results = SweepRunner(3).map(_pid_and_value, list(range(6)))
+        assert [v for _, v in results] == list(range(6))
+        assert all(pid != os.getpid() for pid, _ in results)
+
+    def test_serial_stays_in_process(self):
+        results = SweepRunner(1).map(_pid_and_value, [1, 2])
+        assert all(pid == os.getpid() for pid, _ in results)
+
+    def test_empty_tasks(self):
+        assert SweepRunner(4).map(_square, []) == []
+
+    def test_single_pending_task_runs_inline(self):
+        # one task never pays pool startup, even at jobs>1
+        (pid, _), = SweepRunner(4).map(_pid_and_value, [9])
+        assert pid == os.getpid()
+
+    def test_map_memoizes_through_active_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        with cache_context(cache):
+            first = SweepRunner(1).map(_square, [2, 3], cache_ns="t")
+            second = SweepRunner(1).map(_square, [2, 3], cache_ns="t")
+        assert first == second == [4, 9]
+        assert cache.stores == 2
+        assert cache.hits == 2
+
+    def test_map_without_ns_skips_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        with cache_context(cache):
+            SweepRunner(1).map(_square, [2, 3])
+        assert cache.stores == 0

@@ -1,0 +1,43 @@
+"""Shared test helpers.
+
+``assert_bit_identical`` is the determinism-parity comparator: it walks
+arbitrarily nested experiment outputs and requires *exact* value
+equality — float bit patterns, numpy dtype/shape/bytes, dataclass
+fields — without requiring pickle-byte equality (pickle's internal
+memo structure differs between objects that crossed a process boundary
+and objects that never left, even when every value is identical).
+"""
+
+import dataclasses
+import struct
+
+import numpy as np
+
+
+def assert_bit_identical(a, b, path="value"):
+    """Require ``a`` and ``b`` to be exactly (bit-for-bit) equal values."""
+    assert type(a) is type(b), f"{path}: {type(a)} != {type(b)}"
+    if isinstance(a, dict):
+        assert a.keys() == b.keys(), f"{path}: key sets differ"
+        for k in a:
+            assert_bit_identical(a[k], b[k], f"{path}[{k!r}]")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), f"{path}: lengths differ"
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_bit_identical(x, y, f"{path}[{i}]")
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype and a.shape == b.shape \
+            and a.tobytes() == b.tobytes(), f"{path}: arrays differ"
+    elif isinstance(a, float):
+        assert struct.pack("<d", a) == struct.pack("<d", b), \
+            f"{path}: {a!r} != {b!r} (bitwise)"
+    elif dataclasses.is_dataclass(a) and not isinstance(a, type):
+        for f in dataclasses.fields(a):
+            assert_bit_identical(getattr(a, f.name), getattr(b, f.name),
+                                 f"{path}.{f.name}")
+    elif hasattr(a, "__dict__") and not isinstance(a, type):
+        assert vars(a).keys() == vars(b).keys(), f"{path}: attrs differ"
+        for k in vars(a):
+            assert_bit_identical(vars(a)[k], vars(b)[k], f"{path}.{k}")
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"

@@ -1,0 +1,152 @@
+"""Unit tests for the on-disk result cache."""
+
+import pytest
+
+from repro.cache import (
+    ResultCache,
+    active_cache,
+    cache_context,
+    code_fingerprint,
+    default_cache_dir,
+    stable_key,
+)
+from repro.config import TuningConfig
+from repro.hw.presets import INTEL_E7505, PE2650
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        cfg = TuningConfig.stock(9000)
+        assert stable_key("ns", cfg, 42) == stable_key("ns", cfg, 42)
+
+    def test_any_config_field_changes_key(self):
+        base = TuningConfig.fully_tuned(8160)
+        seen = {stable_key(base)}
+        for change in ({"mtu": 9000}, {"mmrbc": 512},
+                       {"smp_kernel": True}, {"tcp_rmem": 65536},
+                       {"interrupt_coalescing_us": 0.0},
+                       {"tcp_timestamps": False}, {"tso": True},
+                       {"txqueuelen": 5000}, {"sack": True}):
+            key = stable_key(base.replace(**change))
+            assert key not in seen, change
+            seen.add(key)
+
+    def test_topology_inputs_change_key(self):
+        cfg = TuningConfig.stock()
+        assert stable_key(cfg, PE2650) != stable_key(cfg, INTEL_E7505)
+        assert stable_key("a", cfg) != stable_key("b", cfg)
+
+    def test_float_bits_matter_but_int_is_not_float(self):
+        assert stable_key(1) != stable_key(1.0)
+        assert stable_key(0.1) == stable_key(0.1)
+
+    def test_nested_structures(self):
+        assert stable_key({"a": [1, (2, 3)]}) == stable_key({"a": [1, [2, 3]]})
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key("x", 1)
+        assert cache.get(key) == (False, None)
+        assert cache.put(key, {"v": [1.5, "two"]})
+        assert cache.get(key) == (True, {"v": [1.5, "two"]})
+
+    def test_corrupted_entry_recomputed_not_crashed(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key("x")
+        cache.put(key, "payload")
+        victim = cache._file(key)
+        victim.write_bytes(b"not a cache entry at all")
+        hit, value = cache.get(key)
+        assert (hit, value) == (False, None)
+        assert not victim.exists()  # bad entry dropped
+        assert cache.errors == 1
+        cache.put(key, "payload")  # recompute path works again
+        assert cache.get(key) == (True, "payload")
+
+    def test_truncated_entry_detected(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key("x")
+        cache.put(key, list(range(1000)))
+        blob = cache._file(key).read_bytes()
+        cache._file(key).write_bytes(blob[:len(blob) // 2])
+        assert cache.get(key) == (False, None)
+        assert cache.errors == 1
+
+    def test_unpicklable_value_is_skipped_silently(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key("x")
+        assert not cache.put(key, lambda: None)
+        assert cache.errors == 1
+        assert cache.get(key) == (False, None)
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        keys = [cache.key(i) for i in range(3)]
+        for k in keys:
+            cache.put(k, k)
+        assert cache.invalidate(keys[0])
+        assert not cache.invalidate(keys[0])
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+    def test_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key("x")
+        cache.get(key)
+        cache.put(key, "v")
+        cache.get(key)
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.size_bytes > 0
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+
+class TestActivation:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert active_cache() is None
+
+    def test_env_enables_default_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        cache = active_cache()
+        assert cache is not None
+        assert cache.path == tmp_path / "c"
+
+    def test_context_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        with cache_context(False):
+            assert active_cache() is None
+        mine = ResultCache(tmp_path / "mine")
+        with cache_context(mine):
+            assert active_cache() is mine
+
+    def test_none_context_inherits(self, tmp_path):
+        mine = ResultCache(tmp_path / "mine")
+        with cache_context(mine):
+            with cache_context(None):
+                assert active_cache() is mine
+
+    def test_bad_argument_rejected(self):
+        with pytest.raises(TypeError):
+            with cache_context("yes please"):
+                pass
+
+    def test_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == ".repro-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "deadbeef")
+        assert code_fingerprint() == "deadbeef"
