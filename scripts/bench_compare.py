@@ -9,12 +9,20 @@ microbench (``test_engine_*``) regresses by more than the threshold
 (default 20% on mean time per round), so CI — or a pre-merge habit —
 catches simulator slowdowns the same way the tests catch wrong numbers.
 
+Also measures the *tracing overhead*: the cost the disabled-by-default
+instrumentation (guarded ``TraceBuffer.post`` calls) adds to the engine
+hot path.  The run fails when the disabled-tracing path is more than
+``--trace-threshold`` (default 3%) slower than an untraced baseline —
+the "negligible effect" property the paper claims for MAGNET, kept
+honest by CI.
+
 Usage::
 
     python scripts/bench_compare.py                 # engine microbenches
     python scripts/bench_compare.py --all           # every benchmark
     python scripts/bench_compare.py --baseline benchmarks/results/BENCH_abc1234.json
     python scripts/bench_compare.py --threshold 0.10
+    python scripts/bench_compare.py --trace-overhead-only
 """
 
 from __future__ import annotations
@@ -94,6 +102,84 @@ def compare(old: Dict[str, float], new: Dict[str, float],
     return regressed
 
 
+def measure_trace_overhead(repeats: int = 5,
+                           events: int = 50_000) -> Dict[str, float]:
+    """Time the engine hot path untraced vs guarded-disabled vs enabled.
+
+    The workload mirrors the instrumented simulation loops: a generator
+    process doing four pooled-timeout yields per guarded trace post
+    (roughly the post density of the TCP pump).  Returns the best-of-
+    ``repeats`` wall time per variant:
+
+    - ``baseline``  — no trace code at all,
+    - ``disabled``  — ``if trace.enabled: trace.post(...)`` with a
+      disabled buffer (what every default run pays),
+    - ``enabled``   — the same posts actually recording.
+    """
+    sys.path.insert(0, str(ROOT / "src"))
+    from time import perf_counter
+
+    from repro.sim.engine import Environment
+    from repro.sim.trace import TraceBuffer
+
+    def untraced(env: "Environment"):
+        timeout = env._fast_timeout
+        for _ in range(events):
+            yield timeout(1e-6)
+            yield timeout(1e-6)
+            yield timeout(1e-6)
+            yield timeout(1e-6)
+
+    def traced(env: "Environment", trace: "TraceBuffer"):
+        timeout = env._fast_timeout
+        for i in range(events):
+            yield timeout(1e-6)
+            yield timeout(1e-6)
+            yield timeout(1e-6)
+            yield timeout(1e-6)
+            if trace.enabled:
+                trace.post(env.now, "bench.tick", i, qlen=i)
+
+    def run_variant(variant: str) -> float:
+        env = Environment()
+        if variant == "baseline":
+            env.process(untraced(env), name="bench.untraced")
+        else:
+            trace = TraceBuffer(max_events=events,
+                                enabled=(variant == "enabled"))
+            env.process(traced(env, trace), name="bench.traced")
+        start = perf_counter()
+        env.run()
+        return perf_counter() - start
+
+    variants = ("baseline", "disabled", "enabled")
+    best = {v: float("inf") for v in variants}
+    for _ in range(repeats):
+        for v in variants:  # interleave so drift hits all variants alike
+            best[v] = min(best[v], run_variant(v))
+    return best
+
+
+def check_trace_overhead(threshold: float, repeats: int) -> bool:
+    """Run the overhead bench and report; True when within threshold."""
+    print(f"\ntracing-overhead bench (best of {repeats}):")
+    times = measure_trace_overhead(repeats=repeats)
+    base = times["baseline"]
+    for variant in ("baseline", "disabled", "enabled"):
+        t = times[variant]
+        rel = "" if variant == "baseline" else f"  {t / base - 1.0:+7.1%}"
+        print(f"  {variant:<9}  {t:>10.6f} s{rel}")
+    overhead = times["disabled"] / base - 1.0
+    if overhead > threshold:
+        print(f"\nFAIL: disabled-tracing overhead {overhead:+.1%} exceeds "
+              f"{threshold:.0%} — the guarded posts are no longer "
+              f"near-free.")
+        return False
+    print(f"OK: disabled-tracing overhead {overhead:+.1%} is within "
+          f"{threshold:.0%}.")
+    return True
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run benchmarks, archive BENCH_<rev>.json, fail on "
@@ -110,7 +196,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--rev", default=None,
                         help="revision label for the output file "
                              "(default: git short rev)")
+    parser.add_argument("--trace-threshold", type=float, default=0.03,
+                        help="maximum tolerated slowdown of the engine hot "
+                             "path from disabled tracing (default 0.03 = "
+                             "3%%)")
+    parser.add_argument("--trace-repeats", type=int, default=5,
+                        help="repeats for the tracing-overhead bench "
+                             "(best-of; default 5)")
+    parser.add_argument("--trace-overhead-only", action="store_true",
+                        help="run only the tracing-overhead bench")
+    parser.add_argument("--skip-trace-overhead", action="store_true",
+                        help="skip the tracing-overhead bench")
     args = parser.parse_args(argv)
+
+    if args.trace_overhead_only:
+        ok = check_trace_overhead(args.trace_threshold, args.trace_repeats)
+        return 0 if ok else 1
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     rev = args.rev or git_rev()
@@ -122,15 +223,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     baseline = args.baseline or previous_report(out_path)
     if baseline is None:
         print("no previous BENCH_*.json to compare against; baseline recorded.")
-        return 0
-    print(f"comparing against {baseline}")
-    regressed = compare(load_means(baseline), new, args.threshold)
-    if regressed:
-        print(f"\nFAIL: engine microbench regression(s) over "
-              f"{args.threshold:.0%}: {', '.join(regressed)}")
-        return 1
-    print(f"\nOK: no engine microbench regressed more than "
-          f"{args.threshold:.0%}.")
+    else:
+        print(f"comparing against {baseline}")
+        regressed = compare(load_means(baseline), new, args.threshold)
+        if regressed:
+            print(f"\nFAIL: engine microbench regression(s) over "
+                  f"{args.threshold:.0%}: {', '.join(regressed)}")
+            return 1
+        print(f"\nOK: no engine microbench regressed more than "
+              f"{args.threshold:.0%}.")
+    if not args.skip_trace_overhead:
+        if not check_trace_overhead(args.trace_threshold, args.trace_repeats):
+            return 1
     return 0
 
 

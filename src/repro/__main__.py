@@ -5,6 +5,7 @@ Usage::
     python -m repro --list
     python -m repro fig3 tab1 wan
     python -m repro all --full --jobs auto --out results/
+    python -m repro fig3 --trace out.json --metrics --profile
     python -m repro --cache-stats
     python -m repro --clear-cache
 
@@ -14,6 +15,14 @@ Independent simulation points fan out over ``--jobs`` worker processes
 (default: ``REPRO_JOBS`` or serial; results are bit-identical either
 way), and completed work is memoized under ``.repro-cache/`` so warm
 reruns are near-instant (``--no-cache`` forces recomputation).
+
+Telemetry (see docs/OBSERVABILITY.md): ``--metrics`` appends the merged
+metrics table to each report (identical at any ``--jobs``), ``--trace``
+writes a Perfetto-loadable Chrome trace, ``--trace-jsonl`` a raw event
+dump, ``--timeline`` per-connection tcptrace-style series, and
+``--profile`` the engine's "where did the time go" table.  Any of these
+flags disables the result cache for the run (cache hits produce no
+telemetry).
 """
 
 from __future__ import annotations
@@ -49,6 +58,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_JOBS or serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
+    parser.add_argument("--metrics", action="store_true",
+                        help="append the merged metrics table to each "
+                             "report")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        metavar="FILE",
+                        help="write a Chrome trace_event JSON (open in "
+                             "Perfetto / chrome://tracing)")
+    parser.add_argument("--trace-jsonl", type=pathlib.Path, default=None,
+                        metavar="FILE",
+                        help="write the raw trace events as JSON lines")
+    parser.add_argument("--timeline", type=pathlib.Path, default=None,
+                        metavar="FILE",
+                        help="write tcptrace-style per-connection "
+                             "time-sequence/cwnd series as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="append the engine self-profile ('where did "
+                             "the time go') to each report")
     parser.add_argument("--cache-stats", action="store_true",
                         help="print result-cache statistics and exit")
     parser.add_argument("--clear-cache", action="store_true",
@@ -91,10 +117,36 @@ def main(argv: List[str] = None) -> int:
         return 2
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
+    want_events = (args.trace is not None or args.trace_jsonl is not None
+                   or args.timeline is not None)
+    telemetry_on = want_events or args.metrics or args.profile
+    all_events = []
     for name in names:
         start = time.time()
-        output = run_experiment(name, quick=not args.full, jobs=args.jobs,
-                                cache=not args.no_cache)
+        if telemetry_on:
+            from repro.telemetry import (format_metrics_table,
+                                         telemetry_session)
+            with telemetry_session(metrics=args.metrics or want_events,
+                                   trace=want_events,
+                                   profile=args.profile) as session:
+                output = run_experiment(name, quick=not args.full,
+                                        jobs=args.jobs, cache=False)
+            extra = []
+            if args.metrics:
+                extra.append(format_metrics_table(
+                    session.registry, title=f"Metrics ({name})"))
+            if args.profile and session.profile is not None:
+                extra.append(session.profile.render_table())
+            if extra:
+                output.text = "\n\n".join([output.text] + extra)
+            # Prefix tracks with the experiment id so multi-experiment
+            # invocations stay distinguishable in one trace file.
+            all_events.extend(
+                (f"{name}/{track}", t, point, subject, detail)
+                for track, t, point, subject, detail in session.events)
+        else:
+            output = run_experiment(name, quick=not args.full, jobs=args.jobs,
+                                    cache=not args.no_cache)
         elapsed = time.time() - start
         banner = f"=== {name} ({elapsed:.1f}s) "
         print(banner + "=" * max(0, 72 - len(banner)))
@@ -102,6 +154,18 @@ def main(argv: List[str] = None) -> int:
         print()
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(output.text + "\n")
+    if want_events:
+        from repro.telemetry import (write_chrome_trace, write_jsonl,
+                                     write_timeline)
+        if args.trace is not None:
+            n = write_chrome_trace(all_events, args.trace)
+            print(f"wrote {n} trace records to {args.trace}")
+        if args.trace_jsonl is not None:
+            n = write_jsonl(all_events, args.trace_jsonl)
+            print(f"wrote {n} events to {args.trace_jsonl}")
+        if args.timeline is not None:
+            n = write_timeline(all_events, args.timeline)
+            print(f"wrote {n} connection timeline(s) to {args.timeline}")
     return 0
 
 

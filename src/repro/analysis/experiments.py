@@ -30,6 +30,7 @@ from repro.cache import active_cache, cache_context, code_fingerprint
 from repro.config import TuningConfig
 from repro.errors import MeasurementError
 from repro.sim.runner import SweepRunner, job_context
+from repro.telemetry.session import active_session
 from repro.units import Gbps
 
 __all__ = ["ExperimentOutput", "EXPERIMENTS", "run_experiment",
@@ -83,6 +84,11 @@ def run_experiment(name: str, quick: bool = True,
         ) from None
     with job_context(jobs), cache_context(cache):
         store = active_cache()
+        if active_session() is not None:
+            # A telemetry session wants metrics/events from the actual
+            # run; whole-output (and per-point) memoization would skip
+            # the simulations that produce them.
+            store = None
         if store is not None:
             # Whole-output memoization on top of per-point caching: a
             # warm rerun skips even the reporting/analysis layer.  The

@@ -15,9 +15,13 @@ PCI-X-as-error-source concern the paper raises.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import ConfigError
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
+from repro.sim.trace import TraceBuffer
+from repro.telemetry.session import active_metrics
 from repro.units import Gbps, ns
 
 __all__ = ["MchLink"]
@@ -35,7 +39,8 @@ class MchLink:
 
     def __init__(self, env: Environment, link_bps: float = MCH_LINK_BPS,
                  overhead_s: float = MCH_TRANSFER_OVERHEAD_S,
-                 name: str = "mch"):
+                 name: str = "mch",
+                 trace: Optional[TraceBuffer] = None):
         if link_bps <= 0:
             raise ConfigError("MCH link bandwidth must be positive")
         if overhead_s < 0:
@@ -44,7 +49,15 @@ class MchLink:
         self.link_bps = link_bps
         self.overhead_s = overhead_s
         self.bus = Resource(env, capacity=1, name=name)
+        self.name = name
+        self.trace = trace
         self.bytes_moved = 0
+        metrics = active_metrics()
+        if metrics is not None:
+            self._c_dma = metrics.counter("mch.dma.transfers", bus=name)
+            self._c_bytes = metrics.counter("mch.dma.bytes", bus=name)
+        else:
+            self._c_dma = self._c_bytes = None
 
     @property
     def peak_bps(self) -> float:
@@ -73,6 +86,13 @@ class MchLink:
         yield self.env._fast_timeout(hold)
         self.bus.release(req)
         self.bytes_moved += nbytes
+        if self._c_dma is not None:
+            self._c_dma.inc()
+            self._c_bytes.inc(nbytes)
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.post(self.env.now, "mch.dma", None, bus=self.name,
+                       nbytes=nbytes)
 
     def utilization(self) -> float:
         """Busy fraction since t=0."""

@@ -24,6 +24,7 @@ from repro.oskernel.allocator import BuddyAllocator
 from repro.oskernel.skbuff import SkBuff
 from repro.sim.engine import Environment
 from repro.sim.trace import TraceBuffer
+from repro.telemetry.session import active_metrics, register_trace
 
 __all__ = ["Host"]
 
@@ -50,16 +51,24 @@ class Host:
         self.name = name or spec.name
         self.costs = CostModel(spec, config, calibration)
         self.cpu = CpuComplex(env, spec, name=f"{self.name}.cpu")
+        # One trace ring per host, shared by its whole stack (NIC, bus,
+        # allocator, TCP endpoints) — the simulated MAGNET ring.
+        self.trace = TraceBuffer(enabled=False)
+        register_trace(self.name, self.trace)
         self.pcix = PciXBus(env, spec.pcix_mhz,
                             burst_overhead_s=spec.pcix_burst_overhead_ns * 1e-9,
-                            name=f"{self.name}.pcix")
+                            name=f"{self.name}.pcix", trace=self.trace)
         self._extra_buses: List[PciXBus] = []
         ghz = spec.cpu_ghz
         cal = self.costs.cal
         self.allocator = BuddyAllocator(
             base_cost_s=cal.alloc_base_usghz * 1e-6 / ghz,
-            order_penalty_s=cal.alloc_order_usghz * 1e-6 / ghz)
-        self.trace = TraceBuffer(enabled=False)
+            order_penalty_s=cal.alloc_order_usghz * 1e-6 / ghz,
+            trace=self.trace, clock=env)
+        metrics = active_metrics()
+        self._c_rx_dispatch = (
+            metrics.counter("host.rx.dispatch", host=self.name)
+            if metrics is not None else None)
         self.adapters: List[Any] = []
         self._handlers: Dict[Any, RxHandler] = {}
         self._default_handler: Optional[RxHandler] = None
@@ -70,7 +79,8 @@ class Host:
         put each adapter on its own bus)."""
         bus = PciXBus(self.env, self.spec.pcix_mhz,
                       burst_overhead_s=self.spec.pcix_burst_overhead_ns * 1e-9,
-                      name=f"{self.name}.pcix{len(self._extra_buses) + 1}")
+                      name=f"{self.name}.pcix{len(self._extra_buses) + 1}",
+                      trace=self.trace)
         self._extra_buses.append(bus)
         return bus
 
@@ -109,6 +119,9 @@ class Host:
         # costs are charged by the handlers themselves.
         yield from self.cpu.run(self.costs.rx_irq_s())
         n = len(batch)
+        counter = self._c_rx_dispatch
+        if counter is not None:
+            counter.inc(n)
         for skb in batch:
             self.trace.post(self.env.now, "host.rx.dispatch", skb.ident,
                             conn=skb.conn, batch=n)

@@ -22,6 +22,7 @@ from repro.oskernel.skbuff import SkBuff
 from repro.sim.engine import Environment
 from repro.sim.monitor import CounterMonitor
 from repro.sim.resources import Store
+from repro.telemetry.session import active_metrics
 from repro.units import Gbps, us
 
 __all__ = ["TenGigAdapter", "GigAdapter", "RX_RING_FRAMES"]
@@ -55,10 +56,27 @@ class TenGigAdapter:
             # §3.5.3: the adapter hangs off the memory controller hub,
             # bypassing the PCI-X bus (and its MMRBC sensitivity).
             from repro.hw.csa import MchLink
-            self.pcix = MchLink(env, name=f"{self.name}.mch")
+            self.pcix = MchLink(env, name=f"{self.name}.mch",
+                                trace=host.trace)
         else:
             self.pcix = host.new_pcix_bus() if own_bus else host.pcix
         cfg = host.config
+        # Instrumentation: events ride the host's MAGNET ring; metric
+        # series register into the ambient telemetry session (if any).
+        self.trace = host.trace
+        metrics = active_metrics()
+        if metrics is not None:
+            self._c_tx = metrics.counter("nic.tx.frames", nic=self.name)
+            self._c_txdrop = metrics.counter("nic.tx.drops", nic=self.name)
+            self._c_rx = metrics.counter("nic.rx.frames", nic=self.name)
+            self._c_rxdrop = metrics.counter("nic.rx.drops", nic=self.name)
+            self._c_irq = metrics.counter("nic.interrupts", nic=self.name)
+            self._c_tso = metrics.counter("nic.tso.splits", nic=self.name)
+            self._h_batch = metrics.histogram("irq.batch", nic=self.name)
+        else:
+            self._c_tx = self._c_txdrop = self._c_rx = None
+            self._c_rxdrop = self._c_irq = self._c_tso = None
+            self._h_batch = None
         self.txq = Store(env, capacity=cfg.txqueuelen, name=f"{self.name}.txq")
         self.tx_drops = CounterMonitor(env, name=f"{self.name}.txdrop")
         self.rx_drops = CounterMonitor(env, name=f"{self.name}.rxdrop")
@@ -97,8 +115,18 @@ class TenGigAdapter:
             raise TopologyError(f"{self.name}: egress not connected")
         if self.txq.level >= self.txq.capacity:
             self.tx_drops.add()
+            if self._c_txdrop is not None:
+                self._c_txdrop.inc()
+            trace = self.trace
+            if trace.enabled:
+                trace.post(self.env.now, "nic.tx.drop", skb.ident,
+                           qlen=self.txq.level)
             return False
         self.txq.put(skb)
+        trace = self.trace
+        if trace.enabled:
+            trace.post(self.env.now, "nic.tx.queue", skb.ident,
+                       kind=skb.kind, qlen=self.txq.level)
         return True
 
     def enqueue(self, skb: SkBuff):
@@ -108,6 +136,10 @@ class TenGigAdapter:
         how ``dev_queue_xmit`` behaves for a socket-owned skb."""
         if self._egress is None:
             raise TopologyError(f"{self.name}: egress not connected")
+        trace = self.trace
+        if trace.enabled:
+            trace.post(self.env.now, "nic.tx.queue", skb.ident,
+                       kind=skb.kind, qlen=self.txq.level)
         return self.txq.put(skb)
 
     def _tx_loop(self):
@@ -117,9 +149,22 @@ class TenGigAdapter:
             # DMA the frame (or super-segment) across PCI-X.
             yield from self.pcix.dma(skb.frame_bytes, cfg.mmrbc)
             yield self.env._fast_timeout(self.host.costs.nic_traverse_s)
-            for frame in self._wire_frames(skb):
+            frames = self._wire_frames(skb)
+            trace = self.trace
+            if len(frames) > 1:
+                if self._c_tso is not None:
+                    self._c_tso.inc()
+                if trace.enabled:
+                    trace.post(self.env.now, "nic.tso.split", skb.ident,
+                               frames=len(frames), payload=skb.payload)
+            for frame in frames:
                 self._egress.transmit(frame)
                 self.tx_frames.add()
+                if self._c_tx is not None:
+                    self._c_tx.inc()
+                if trace.enabled:
+                    trace.post(self.env.now, "nic.tx.wire", frame.ident,
+                               nbytes=frame.frame_bytes)
 
     def _wire_frames(self, skb: SkBuff) -> List[SkBuff]:
         """Re-segment a TSO super-segment into wire frames; ordinary
@@ -145,8 +190,20 @@ class TenGigAdapter:
         """Wire-side delivery (called by the attached link)."""
         if len(self._rx_pending) >= RX_RING_FRAMES:
             self.rx_drops.add()
+            if self._c_rxdrop is not None:
+                self._c_rxdrop.inc()
+            trace = self.trace
+            if trace.enabled:
+                trace.post(self.env.now, "nic.rx.drop", skb.ident,
+                           ring=len(self._rx_pending))
             return
         self.rx_frames.add()
+        if self._c_rx is not None:
+            self._c_rx.inc()
+        trace = self.trace
+        if trace.enabled:
+            trace.post(self.env.now, "nic.rx.frame", skb.ident,
+                       nbytes=skb.frame_bytes)
         self.env.process(self._rx_dma(skb), name=f"{self.name}.rxdma")
 
     def _rx_dma(self, skb: SkBuff):
@@ -154,6 +211,10 @@ class TenGigAdapter:
         yield from self.pcix.dma(skb.frame_bytes, self.host.config.mmrbc)
         yield self.env._fast_timeout(self.host.costs.nic_traverse_s
                                + self.host.costs.rx_fixed_pad_s)
+        trace = self.trace
+        if trace.enabled:
+            trace.post(self.env.now, "nic.rx.dma", skb.ident,
+                       nbytes=skb.frame_bytes)
         self._rx_pending.append(skb)
         self.moderator.note_arrival(self.env.now)
         self._arm_interrupt()
@@ -165,6 +226,10 @@ class TenGigAdapter:
             return
         if not self._irq_timer_armed:
             self._irq_timer_armed = True
+            trace = self.trace
+            if trace.enabled:
+                trace.post(self.env.now, "irq.coalesce.arm", None,
+                           delay_us=coalesce * 1e6)
             self.env.schedule_call(coalesce, self._on_irq_timer)
 
     def _on_irq_timer(self) -> None:
@@ -176,6 +241,13 @@ class TenGigAdapter:
             return
         batch, self._rx_pending = self._rx_pending, []
         self.interrupts.add()
+        if self._c_irq is not None:
+            self._c_irq.inc()
+            self._h_batch.observe(len(batch))
+        trace = self.trace
+        if trace.enabled:
+            trace.post(self.env.now, "irq.coalesce.fire", None,
+                       batch=len(batch))
         self.host.deliver_rx(self, batch)
 
 

@@ -16,10 +16,14 @@ instantiating one :class:`PciXBus` per adapter.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import VALID_MMRBC
 from repro.errors import ConfigError
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
+from repro.sim.trace import TraceBuffer
+from repro.telemetry.session import active_metrics
 from repro.units import ns
 
 __all__ = ["PciXBus", "BURST_OVERHEAD_S"]
@@ -37,7 +41,8 @@ class PciXBus:
 
     def __init__(self, env: Environment, clock_mhz: int,
                  burst_overhead_s: float = BURST_OVERHEAD_S,
-                 name: str = "pcix"):
+                 name: str = "pcix",
+                 trace: Optional[TraceBuffer] = None):
         if clock_mhz not in (33, 66, 100, 133):
             raise ConfigError(f"PCI-X clock must be 33/66/100/133 MHz, "
                               f"got {clock_mhz}")
@@ -47,7 +52,15 @@ class PciXBus:
         self.clock_mhz = clock_mhz
         self.burst_overhead_s = burst_overhead_s
         self.bus = Resource(env, capacity=1, name=name)
+        self.name = name
+        self.trace = trace
         self.bytes_moved = 0
+        metrics = active_metrics()
+        if metrics is not None:
+            self._c_dma = metrics.counter("pcix.dma.transfers", bus=name)
+            self._c_bytes = metrics.counter("pcix.dma.bytes", bus=name)
+        else:
+            self._c_dma = self._c_bytes = None
 
     @property
     def peak_bps(self) -> float:
@@ -80,6 +93,13 @@ class PciXBus:
         yield self.env._fast_timeout(hold)
         self.bus.release(req)
         self.bytes_moved += nbytes
+        if self._c_dma is not None:
+            self._c_dma.inc()
+            self._c_bytes.inc(nbytes)
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.post(self.env.now, "pcix.dma", None, bus=self.name,
+                       nbytes=nbytes, bursts=-(-nbytes // mmrbc), mmrbc=mmrbc)
 
     def utilization(self) -> float:
         """Busy fraction of the bus since t=0."""

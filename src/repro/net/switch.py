@@ -18,6 +18,8 @@ from repro.oskernel.skbuff import SkBuff
 from repro.sim.engine import Environment
 from repro.sim.monitor import CounterMonitor
 from repro.sim.resources import Store
+from repro.sim.trace import TraceBuffer
+from repro.telemetry.session import active_metrics, register_trace
 from repro.units import Gbps, us
 
 __all__ = ["Switch", "SwitchPort", "SwitchModel", "FASTIRON_1500"]
@@ -65,6 +67,14 @@ class SwitchPort:
                            name=f"{switch.name}.{port_id}.q")
         self.drops = CounterMonitor(env, name=f"{switch.name}.{port_id}.drops")
         self.forwarded = CounterMonitor(env, name=f"{switch.name}.{port_id}.fwd")
+        self.trace = switch.trace
+        metrics = active_metrics()
+        if metrics is not None:
+            label = dict(switch=switch.name, port=port_id)
+            self._c_fwd = metrics.counter("switch.forwarded", **label)
+            self._c_drop = metrics.counter("switch.drops", **label)
+        else:
+            self._c_fwd = self._c_drop = None
         env.process(self._drain(), name=f"{switch.name}.{port_id}.drain")
 
     def enqueue(self, skb: SkBuff) -> None:
@@ -74,9 +84,18 @@ class SwitchPort:
                                self._enqueue, skb)
 
     def _enqueue(self, skb: SkBuff) -> None:
+        trace = self.trace
         if self.queue.level >= self.queue.capacity:
             self.drops.add()
+            if self._c_drop is not None:
+                self._c_drop.inc()
+            if trace.enabled:
+                trace.post(self.env.now, "switch.drop", skb.ident,
+                           port=self.port_id, qlen=self.queue.level)
             return
+        if trace.enabled:
+            trace.post(self.env.now, "switch.enqueue", skb.ident,
+                       port=self.port_id, qlen=self.queue.level)
         self.queue.put(skb)
 
     def _drain(self):
@@ -86,6 +105,12 @@ class SwitchPort:
             # in this output queue
             yield from self.egress.send(skb)
             self.forwarded.add()
+            if self._c_fwd is not None:
+                self._c_fwd.inc()
+            trace = self.trace
+            if trace.enabled:
+                trace.post(self.env.now, "switch.forward", skb.ident,
+                           port=self.port_id)
 
 
 class Switch:
@@ -104,6 +129,8 @@ class Switch:
         self._ports: Dict[str, SwitchPort] = {}
         self._fdb: Dict[str, str] = {}
         self.flooded = CounterMonitor(env, name=f"{name}.flooded")
+        self.trace = TraceBuffer(enabled=False)
+        register_trace(name, self.trace)
 
     # -- topology -------------------------------------------------------------
     def add_port(self, port_id: str, egress: EthernetLink) -> SwitchPort:

@@ -22,6 +22,8 @@ from repro.oskernel.skbuff import SkBuff
 from repro.sim.engine import Environment
 from repro.sim.monitor import CounterMonitor
 from repro.sim.resources import Resource, Store
+from repro.sim.trace import TraceBuffer
+from repro.telemetry.session import active_metrics, register_trace
 from repro.units import Gbps, us
 
 __all__ = ["PosCircuit", "Router", "WanPath",
@@ -45,7 +47,8 @@ class PosCircuit:
     """One direction of a packet-over-SONET circuit."""
 
     def __init__(self, env: Environment, line_bps: float, length_km: float,
-                 name: str = "pos"):
+                 name: str = "pos",
+                 trace: Optional[TraceBuffer] = None):
         if line_bps <= 0:
             raise LinkError(f"{name}: line rate must be positive")
         if length_km < 0:
@@ -58,6 +61,10 @@ class PosCircuit:
         self._sink: Optional[FrameSink] = None
         self._tx = Resource(env, capacity=1, name=f"{name}.tx")
         self.frames = CounterMonitor(env, name=f"{name}.frames")
+        self.trace = trace
+        metrics = active_metrics()
+        self._c_tx = (metrics.counter("pos.tx.frames", circuit=name)
+                      if metrics is not None else None)
 
     def connect(self, sink: FrameSink) -> None:
         """Attach the far end."""
@@ -85,6 +92,12 @@ class PosCircuit:
         yield self.env._fast_timeout(self.serialization_time(skb))
         self._tx.release(req)
         self.frames.add()
+        if self._c_tx is not None:
+            self._c_tx.inc()
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.post(self.env.now, "pos.tx", skb.ident,
+                       circuit=self.name, nbytes=skb.frame_bytes)
         self.env.schedule_call(self.propagation_s,
                                self._sink.receive_frame, skb)
 
@@ -103,7 +116,8 @@ class Router:
 
     def __init__(self, env: Environment, egress, name: str = "router",
                  queue_frames: int = 1024,
-                 forwarding_latency_s: float = us(20.0)):
+                 forwarding_latency_s: float = us(20.0),
+                 trace: Optional[TraceBuffer] = None):
         if queue_frames < 1:
             raise TopologyError(f"{name}: queue must hold at least one frame")
         self.env = env
@@ -113,6 +127,13 @@ class Router:
         self.forwarding_latency_s = forwarding_latency_s
         self.drops = CounterMonitor(env, name=f"{name}.drops")
         self.forwarded = CounterMonitor(env, name=f"{name}.fwd")
+        self.trace = trace
+        metrics = active_metrics()
+        if metrics is not None:
+            self._c_fwd = metrics.counter("wan.forwarded", router=name)
+            self._c_drop = metrics.counter("wan.drops", router=name)
+        else:
+            self._c_fwd = self._c_drop = None
         env.process(self._drain(), name=f"{name}.drain")
 
     def receive_frame(self, skb: SkBuff) -> None:
@@ -124,9 +145,18 @@ class Router:
                                self._enqueue, skb)
 
     def _enqueue(self, skb: SkBuff) -> None:
+        trace = self.trace
         if self.queue.level >= self.queue.capacity:
             self.drops.add()
+            if self._c_drop is not None:
+                self._c_drop.inc()
+            if trace is not None and trace.enabled:
+                trace.post(self.env.now, "wan.drop", skb.ident,
+                           router=self.name, qlen=self.queue.level)
             return
+        if trace is not None and trace.enabled:
+            trace.post(self.env.now, "wan.enqueue", skb.ident,
+                       router=self.name, qlen=self.queue.level)
         self.queue.put(skb)
 
     def _drain(self):
@@ -136,6 +166,12 @@ class Router:
             # queue, where drop-tail applies
             yield from self.egress.send(skb)
             self.forwarded.add()
+            if self._c_fwd is not None:
+                self._c_fwd.inc()
+            trace = self.trace
+            if trace is not None and trace.enabled:
+                trace.post(self.env.now, "wan.forward", skb.ident,
+                           router=self.name)
 
     @property
     def occupancy(self) -> int:
@@ -156,15 +192,20 @@ class WanPath:
                  oc192_km: float = 5000.0, oc48_km: float = 13000.0):
         self.env = env
         self.name = name
+        self.trace = TraceBuffer(enabled=False)
+        register_trace(name, self.trace)
         # Sunnyvale -> Chicago: OC-192, entered through the GSR 12406.
-        self.oc192 = PosCircuit(env, OC192_BPS, oc192_km, name=f"{name}.oc192")
+        self.oc192 = PosCircuit(env, OC192_BPS, oc192_km, name=f"{name}.oc192",
+                                trace=self.trace)
         # Chicago -> Geneva: OC-48, the bottleneck, entered through the
         # TeraGrid T640 whose output queue is where congestion loss lives.
-        self.oc48 = PosCircuit(env, OC48_BPS, oc48_km, name=f"{name}.oc48")
+        self.oc48 = PosCircuit(env, OC48_BPS, oc48_km, name=f"{name}.oc48",
+                               trace=self.trace)
         self.ingress_router = Router(env, self.oc192, name=f"{name}.gsr12406",
-                                     queue_frames=4096)
+                                     queue_frames=4096, trace=self.trace)
         self.bottleneck_router = Router(env, self.oc48, name=f"{name}.t640",
-                                        queue_frames=bottleneck_queue_frames)
+                                        queue_frames=bottleneck_queue_frames,
+                                        trace=self.trace)
         self.oc192.connect(self.bottleneck_router)
 
     @property

@@ -18,9 +18,10 @@ Two costs matter and are both modelled here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, Optional
 
 from repro.errors import AllocationError
+from repro.telemetry.session import active_metrics
 from repro.units import us
 
 __all__ = [
@@ -118,7 +119,8 @@ class BuddyAllocator:
     """
 
     def __init__(self, base_cost_s: float = us(0.15),
-                 order_penalty_s: float = us(0.55)):
+                 order_penalty_s: float = us(0.55),
+                 trace: Any = None, clock: Any = None):
         if base_cost_s < 0 or order_penalty_s < 0:
             raise AllocationError("allocator costs cannot be negative")
         self.base_cost_s = base_cost_s
@@ -126,6 +128,17 @@ class BuddyAllocator:
         self.stats = AllocatorStats()
         self._outstanding: Dict[int, int] = {}
         self._next_id = 0
+        # Optional instrumentation: `trace` is the owning host's
+        # TraceBuffer, `clock` anything with a .now (the Environment).
+        self.trace = trace
+        self.clock = clock
+        metrics = active_metrics()
+        if metrics is not None:
+            self._c_alloc = metrics.counter("skbuff.allocs")
+            self._c_free = metrics.counter("skbuff.frees")
+            self._c_waste = metrics.counter("skbuff.waste.bytes")
+        else:
+            self._c_alloc = self._c_free = self._c_waste = None
 
     # -- allocation ------------------------------------------------------------
     def alloc(self, nbytes: int) -> "Allocation":
@@ -140,6 +153,14 @@ class BuddyAllocator:
         st.bytes_requested += nbytes
         st.bytes_allocated += block
         st.by_block[block] = st.by_block.get(block, 0) + 1
+        if self._c_alloc is not None:
+            self._c_alloc.inc()
+            self._c_waste.inc(block - nbytes)
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.post(self._now(), "skbuff.alloc", handle.ident,
+                       nbytes=nbytes, block=block,
+                       order=block_order(block))
         return handle
 
     def free(self, handle: "Allocation") -> None:
@@ -147,6 +168,15 @@ class BuddyAllocator:
         if self._outstanding.pop(handle.ident, None) is None:
             raise AllocationError(f"double free of allocation {handle.ident}")
         self.stats.frees += 1
+        if self._c_free is not None:
+            self._c_free.inc()
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.post(self._now(), "skbuff.free", handle.ident,
+                       block=handle.block)
+
+    def _now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
 
     def alloc_cost(self, nbytes: int) -> float:
         """CPU seconds to allocate a block for ``nbytes``."""

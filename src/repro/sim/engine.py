@@ -23,9 +23,12 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.errors import ScheduleInPastError, SimulationError
+from repro.telemetry.profiling import component_of as _component_of
+from repro.telemetry.session import attach_environment as _attach_environment
 
 __all__ = ["Environment", "Event", "Timeout", "Process", "Interrupt"]
 
@@ -261,6 +264,18 @@ class Environment:
         self._seq = 0
         self._crashes: Deque[Tuple[Process, BaseException]] = deque()
         self._timeout_pool: List[Timeout] = []
+        self._profiler: Optional[Any] = None
+        _attach_environment(self)
+
+    def enable_profiling(self, profiler: Any) -> None:
+        """Route dispatch through the self-profiling loop.
+
+        ``profiler`` is an :class:`~repro.telemetry.profiling.
+        EngineProfiler` (or anything with the same counters).  The
+        unprofiled ``run()`` path is untouched: the only cost when
+        profiling is off is one ``is None`` test per ``run()`` call.
+        """
+        self._profiler = profiler
 
     @property
     def now(self) -> float:
@@ -371,8 +386,12 @@ class Environment:
         until-event / horizon): per-event dispatch is the simulator's
         single hottest path, and the method-call + attribute-lookup
         overhead of delegating to ``step()`` is measurable at millions
-        of events per run.
+        of events per run.  When engine self-profiling is enabled the
+        whole call is handed to :meth:`_run_profiled` instead, keeping
+        this loop free of instrumentation.
         """
+        if self._profiler is not None:
+            return self._run_profiled(until)
         queue = self._queue
         pool = self._timeout_pool
         crashes = self._crashes
@@ -433,6 +452,74 @@ class Environment:
                 self._raise_crash()
         self._now = horizon
         return None
+
+    # -- self-profiling -------------------------------------------------------
+    def _step_profiled(self, prof: Any) -> None:
+        """One :meth:`step` with event/heap accounting and wall-clock
+        attribution of each callback to its owning component."""
+        queue = self._queue
+        depth = len(queue)
+        if depth > prof.heap_hwm:
+            prof.heap_hwm = depth
+        self._now, _, event = _heappop(queue)
+        tname = type(event).__name__
+        counts = prof.event_counts
+        counts[tname] = counts.get(tname, 0) + 1
+        prof.events_total += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            cb_counts = prof.callback_counts
+            cb_time = prof.callback_time_s
+            for fn in callbacks:
+                owner = getattr(fn, "__self__", None)
+                if isinstance(owner, Process):
+                    label = _component_of(owner.name)
+                else:
+                    label = "(callback)"
+                start = perf_counter()
+                fn(event)
+                elapsed = perf_counter() - start
+                cb_counts[label] = cb_counts.get(label, 0) + 1
+                cb_time[label] = cb_time.get(label, 0.0) + elapsed
+        if event._pooled:
+            self._timeout_pool.append(event)
+        if self._crashes:
+            self._raise_crash()
+
+    def _run_profiled(self, until: Any = None) -> Any:
+        """:meth:`run` with the profiled dispatch loop (same three
+        modes, same semantics, plus accounting)."""
+        prof = self._profiler
+        queue = self._queue
+        run_start = perf_counter()
+        try:
+            if until is None:
+                while queue:
+                    self._step_profiled(prof)
+                return None
+            if isinstance(until, Event):
+                if until.callbacks is not None:
+                    until.callbacks.append(_noop)
+                while until.callbacks is not None:
+                    if not queue:
+                        raise SimulationError(
+                            "event queue drained before `until` event fired")
+                    self._step_profiled(prof)
+                if not until._ok:
+                    raise until._value from None
+                return until._value
+            horizon = float(until)
+            if horizon < self._now:
+                raise ScheduleInPastError(
+                    f"run(until={horizon!r}) is before now={self._now!r}")
+            while queue and queue[0][0] <= horizon:
+                self._step_profiled(prof)
+            self._now = horizon
+            return None
+        finally:
+            prof.wall_time_s += perf_counter() - run_start
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Environment now={self._now:.9f} pending={len(self._queue)}>"

@@ -34,8 +34,26 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence
 
 from repro.cache import active_cache, code_fingerprint, stable_key
 from repro.errors import ConfigError
+from repro.telemetry.session import active_session, nested_session
 
 __all__ = ["SweepRunner", "resolve_jobs", "job_context", "point_seed"]
+
+
+def _telemetry_call(bundle):
+    """Run one sweep point inside a fresh nested telemetry session.
+
+    Module-level so it pickles into pool workers.  Returns ``(result,
+    payload)`` — the payload carries the point's metrics snapshot, trace
+    events and engine profile back to the parent, which absorbs them in
+    task order.  Serial execution goes through this same wrapper, so
+    serial and parallel runs aggregate identically by construction.
+    """
+    fn, task, spec = bundle
+    metrics, trace, profile = spec
+    with nested_session(metrics=metrics, trace=trace,
+                        profile=profile) as session:
+        result = fn(task)
+    return result, session.export_payload()
 
 _active_jobs: contextvars.ContextVar = contextvars.ContextVar(
     "repro_jobs", default=None)
@@ -108,6 +126,26 @@ class SweepRunner:
         """
         tasks = list(tasks)
         results: List[Any] = [None] * len(tasks)
+        session = active_session()
+        if session is not None:
+            # Telemetry run: every point executes inside its own nested
+            # session and ships its metrics/events/profile back here.
+            # The on-disk cache is bypassed — a cache hit would return
+            # the result but produce no telemetry.
+            spec = (session.metrics_enabled, session.trace_enabled,
+                    session.profile_enabled)
+            bundles = [(fn, task, spec) for task in tasks]
+            if self.jobs > 1 and len(bundles) > 1:
+                workers = min(self.jobs, len(bundles))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    pairs = list(pool.map(_telemetry_call, bundles))
+            else:
+                pairs = [_telemetry_call(b) for b in bundles]
+            prefix_ns = cache_ns or f"{fn.__module__}.{fn.__qualname__}"
+            for i, (result, payload) in enumerate(pairs):
+                results[i] = result
+                session.absorb(payload, prefix=f"{prefix_ns}[{i}]/")
+            return results
         cache = active_cache() if cache_ns is not None else None
         pending = list(range(len(tasks)))
         keys: List[Optional[str]] = [None] * len(tasks)

@@ -9,8 +9,9 @@ attribute check, so the simulation hot path stays cheap.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "TraceBuffer"]
 
@@ -40,8 +41,10 @@ class TraceEvent:
 class TraceBuffer:
     """Ring buffer of :class:`TraceEvent` records.
 
-    ``enabled`` gates recording; ``max_events`` bounds memory (oldest
-    records are discarded first, like a kernel trace ring).
+    ``enabled`` gates recording; ``max_events`` bounds memory.  The ring
+    is a ``deque(maxlen=...)``: eviction is true oldest-first and O(1)
+    per post, and ``dropped`` counts evicted events exactly, like a
+    kernel trace ring's overrun counter.
     """
 
     def __init__(self, max_events: int = 1_000_000, enabled: bool = False):
@@ -49,7 +52,7 @@ class TraceBuffer:
             raise ValueError("max_events must be >= 1")
         self.max_events = max_events
         self.enabled = enabled
-        self._events: List[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
         self.dropped = 0
 
     def post(self, time: float, point: str, subject: Any = None,
@@ -57,12 +60,10 @@ class TraceBuffer:
         """Record an event (no-op unless enabled)."""
         if not self.enabled:
             return
-        if len(self._events) >= self.max_events:
-            # Drop the oldest half in one go: amortised O(1) per post.
-            keep = self.max_events // 2
-            self.dropped += len(self._events) - keep
-            self._events = self._events[-keep:]
-        self._events.append(TraceEvent(time, point, subject, detail))
+        events = self._events
+        if len(events) == self.max_events:
+            self.dropped += 1  # deque(maxlen) evicts the oldest
+        events.append(TraceEvent(time, point, subject, detail))
 
     def __len__(self) -> int:
         return len(self._events)

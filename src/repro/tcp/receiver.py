@@ -17,6 +17,7 @@ from repro.sim.engine import Environment
 from repro.sim.resources import Store
 from repro.tcp.mss import MtuProfile
 from repro.tcp.window import ReceiveWindow
+from repro.telemetry.session import active_metrics
 from repro.units import ms
 
 __all__ = ["TcpReceiver", "DELACK_TIMEOUT_S"]
@@ -57,6 +58,24 @@ class TcpReceiver:
         self.window_updates = 0
         self.first_data_time: Optional[float] = None
         self.last_delivery_time: Optional[float] = None
+        # instrumentation
+        self._conn_label = getattr(conn, "name", None) or str(conn)
+        # Host-only labels — see the matching note in TcpSender: conn
+        # ids are not stable across serial vs forked-worker execution.
+        metrics = active_metrics()
+        if metrics is not None:
+            label = dict(host=host.name)
+            self._c_seg = metrics.counter("tcp.rx.segments", **label)
+            self._c_dup = metrics.counter("tcp.rx.dups", **label)
+            self._c_ooo = metrics.counter("tcp.rx.ooo", **label)
+            self._c_ack = metrics.counter("tcp.rx.acks", **label)
+            self._c_bytes = metrics.counter("tcp.rx.bytes", **label)
+            self._c_delack = metrics.counter("tcp.delack.fires", **label)
+            self._g_rmem = metrics.gauge("tcp.rmem.used", **label)
+        else:
+            self._c_seg = self._c_dup = self._c_ooo = None
+            self._c_ack = self._c_bytes = self._c_delack = None
+            self._g_rmem = None
 
     # -- frame entry ---------------------------------------------------------
     def on_data_frame(self, skb: SkBuff, batch: int = 1) -> None:
@@ -76,28 +95,49 @@ class TcpReceiver:
         host = self.host
         yield from host.cpu_work(host.costs.rx_segment_s(skb.payload, batch))
         self.segments_received += 1
+        if self._c_seg is not None:
+            self._c_seg.inc()
         if self.first_data_time is None:
             self.first_data_time = self.env.now
+        trace = host.trace
         out_of_order = False
         if skb.end_seq <= self.rcv_nxt:
             # pure duplicate (a spurious retransmission): drop, re-ack
             self.duplicates += 1
+            if self._c_dup is not None:
+                self._c_dup.inc()
+            if trace.enabled:
+                trace.post(self.env.now, "tcp.rx.dup", skb.ident,
+                           seq=skb.seq, conn=self._conn_label)
             yield from self._send_ack()
             return
         charged = host.costs.rx_truesize(skb)
         skb.meta["charged"] = charged
         if skb.seq == self.rcv_nxt:
             self.window.charge(charged)
+            self._note_rmem(trace, skb, charged)
             self._schedule_drain(skb)
             self._advance(skb)
         elif skb.seq > self.rcv_nxt:
             if skb.seq not in self._ooo:
                 self.window.charge(charged)
+                self._note_rmem(trace, skb, charged)
                 self._ooo[skb.seq] = skb
+            if self._c_ooo is not None:
+                self._c_ooo.inc()
+            if trace.enabled:
+                trace.post(self.env.now, "tcp.rx.ooo", skb.ident,
+                           seq=skb.seq, expected=self.rcv_nxt,
+                           conn=self._conn_label)
             out_of_order = True
         else:
             # partial overlap: treat as duplicate of the old part
             self.duplicates += 1
+            if self._c_dup is not None:
+                self._c_dup.inc()
+            if trace.enabled:
+                trace.post(self.env.now, "tcp.rx.dup", skb.ident,
+                           seq=skb.seq, conn=self._conn_label)
             out_of_order = True
         self._unacked_segments += 1
         # Linux quickacks while the window is constrained (fewer than
@@ -108,6 +148,14 @@ class TcpReceiver:
             yield from self._send_ack()
         else:
             self._arm_delack()
+
+    def _note_rmem(self, trace, skb: SkBuff, charged: int) -> None:
+        if self._g_rmem is not None:
+            self._g_rmem.set_max(self.window.queued_truesize)
+        if trace.enabled:
+            trace.post(self.env.now, "skbuff.rmem.charge", skb.ident,
+                       truesize=charged,
+                       rmem_used=self.window.queued_truesize)
 
     def _advance(self, skb: SkBuff) -> None:
         self.rcv_nxt = skb.end_seq
@@ -131,9 +179,16 @@ class TcpReceiver:
         yield from host.cpu_work(host.costs.rx_wake_s())
         self.window.uncharge(skb.meta.get("charged", skb.truesize))
         self.bytes_delivered += skb.payload
+        if self._c_bytes is not None:
+            self._c_bytes.inc(skb.payload)
         self.last_delivery_time = self.env.now
-        host.trace.post(self.env.now, "tcp.rx.deliver", skb.ident,
-                        seq=skb.seq, len=skb.payload)
+        trace = host.trace
+        if trace.enabled:
+            trace.post(self.env.now, "tcp.rx.deliver", skb.ident,
+                       seq=skb.seq, len=skb.payload,
+                       nbytes=skb.payload, conn=self._conn_label)
+            trace.post(self.env.now, "copy.rx", skb.ident,
+                       nbytes=skb.payload)
         # Window-update ACKs only when the window reopens substantially
         # (2 MSS, like tcp_new_space checks) — finer updates would turn
         # every drained segment into an ACK.
@@ -171,9 +226,13 @@ class TcpReceiver:
                      kind="ack", ack=self.rcv_nxt, conn=self.conn,
                      meta=meta)
         self.acks_sent += 1
+        if self._c_ack is not None:
+            self._c_ack.inc()
         self.nic.send(ack)
-        host.trace.post(self.env.now, "tcp.rx.ack", ack.ident,
-                        ack=self.rcv_nxt, win=win)
+        trace = host.trace
+        if trace.enabled:
+            trace.post(self.env.now, "tcp.rx.ack", ack.ident,
+                       ack=self.rcv_nxt, win=win, conn=self._conn_label)
 
     def _arm_delack(self) -> None:
         if self._delack_armed:
@@ -187,6 +246,13 @@ class TcpReceiver:
             return
         self._delack_armed = False
         if self._unacked_segments > 0:
+            if self._c_delack is not None:
+                self._c_delack.inc()
+            trace = self.host.trace
+            if trace.enabled:
+                trace.post(self.env.now, "tcp.delack.fire",
+                           self._conn_label,
+                           unacked=self._unacked_segments)
             self.env.process(self._send_ack(),
                              name=f"{self.host.name}.tcp.delack")
 

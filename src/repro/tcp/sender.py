@@ -17,6 +17,7 @@ from repro.oskernel.skbuff import SkBuff
 from repro.sim.engine import Environment, Event
 from repro.tcp.congestion import RenoCongestion
 from repro.tcp.mss import MtuProfile
+from repro.telemetry.session import active_metrics
 from repro.units import ms
 
 __all__ = ["TcpSender", "MIN_RTO_S"]
@@ -74,6 +75,28 @@ class TcpSender:
         self.first_send_time: Optional[float] = None
         self.last_ack_time: Optional[float] = None
         self.closed = False
+        # instrumentation
+        self._conn_label = getattr(conn, "name", None) or str(conn)
+        self._last_cwnd = (0, 0.0)
+        # Metric labels use the host only: connection ids are assigned
+        # by a process-global counter, so per-conn labels would differ
+        # between serial and forked-worker runs and break the
+        # serial == parallel merged-metrics guarantee.  Per-connection
+        # series live in the trace/timeline instead.
+        metrics = active_metrics()
+        if metrics is not None:
+            label = dict(host=host.name)
+            self._c_seg = metrics.counter("tcp.tx.segments", **label)
+            self._c_rtx = metrics.counter("tcp.tx.retransmits", **label)
+            self._c_blk = metrics.counter("tcp.tx.blocks", **label)
+            self._c_rto = metrics.counter("tcp.rto.fires", **label)
+            self._c_frtx = metrics.counter("tcp.fastrtx", **label)
+            self._g_cwnd = metrics.gauge("tcp.cwnd.segments", **label)
+            self._g_wmem = metrics.gauge("tcp.wmem.used", **label)
+        else:
+            self._c_seg = self._c_rtx = self._c_blk = None
+            self._c_rto = self._c_frtx = None
+            self._g_cwnd = self._g_wmem = None
         env.process(self._pump(), name=f"{host.name}.tcp.pump")
 
     # -- application interface --------------------------------------------------
@@ -83,6 +106,12 @@ class TcpSender:
         if nbytes <= 0:
             raise ProtocolError(f"write of {nbytes} bytes")
         yield from self.host.cpu_work(self.host.costs.tx_syscall_s())
+        trace = self.host.trace
+        if trace.enabled:
+            trace.post(self.env.now, "tcp.tx.write", self._conn_label,
+                       nbytes=nbytes)
+            trace.post(self.env.now, "copy.tx", self._conn_label,
+                       nbytes=nbytes)
         max_seg = TSO_MAX_PAYLOAD if self.tso else self.mss
         offset = 0
         while offset < nbytes:
@@ -92,10 +121,20 @@ class TcpSender:
                          end_seq=self.queued_seq + size, conn=self.conn,
                          meta={"dst": self.dst_address})
             while self.wmem_used + skb.truesize > self.wmem:
+                if self._c_blk is not None:
+                    self._c_blk.inc()
+                if trace.enabled:
+                    trace.post(self.env.now, "tcp.tx.block",
+                               self._conn_label, wmem_used=self.wmem_used)
                 ev = self.env.event()
                 self._writer_waits.append(ev)
                 yield ev
             self.wmem_used += skb.truesize
+            if self._g_wmem is not None:
+                self._g_wmem.set_max(self.wmem_used)
+            if trace.enabled:
+                trace.post(self.env.now, "skbuff.wmem.charge", skb.ident,
+                           truesize=skb.truesize, wmem_used=self.wmem_used)
             self.queued_seq += size
             self.sendq.append(skb)
             offset += size
@@ -141,10 +180,35 @@ class TcpSender:
             if self.first_send_time is None:
                 self.first_send_time = env.now
             self.segments_sent += 1
+            if self._c_seg is not None:
+                self._c_seg.inc()
             yield self.nic.enqueue(skb)
-            self.host.trace.post(env.now, "tcp.tx.segment", skb.ident,
-                                 seq=skb.seq, len=skb.payload)
+            trace = self.host.trace
+            if trace.enabled:
+                trace.post(env.now, "tcp.tx.segment", skb.ident,
+                           seq=skb.seq, len=skb.payload,
+                           conn=self._conn_label)
+            self._note_cwnd()
             self._arm_rto()
+
+    def _note_cwnd(self) -> None:
+        """Record congestion-window changes (trace point + gauge)."""
+        state = (self.cwnd.cwnd_segments, self.cwnd.ssthresh)
+        if state == self._last_cwnd:
+            return
+        self._last_cwnd = state
+        if self._g_cwnd is not None:
+            self._g_cwnd.set_max(state[0])
+        trace = self.host.trace
+        if trace.enabled:
+            ssthresh = state[1]
+            trace.post(self.env.now, "tcp.cwnd.update", self._conn_label,
+                       conn=self._conn_label, cwnd=state[0],
+                       ssthresh=(-1 if ssthresh == float("inf")
+                                 else ssthresh),
+                       phase=("recovery" if self.cwnd.in_recovery
+                              else "slow-start" if self.cwnd.in_slow_start
+                              else "avoidance"))
 
     # -- ACK path ---------------------------------------------------------------
     def on_ack_frame(self, skb: SkBuff, batch: int = 1) -> None:
@@ -168,7 +232,14 @@ class TcpSender:
               and not window_changed and skb.payload == 0):
             if self.cwnd.on_dupack():
                 self.recover_point = self.snd_nxt
+                if self._c_frtx is not None:
+                    self._c_frtx.inc()
+                trace = self.host.trace
+                if trace.enabled:
+                    trace.post(self.env.now, "tcp.fastrtx",
+                               self._conn_label, una=self.snd_una)
                 self._retransmit_head()
+        self._note_cwnd()
         self._kick_pump()
 
     def _advance_una(self, ack: int) -> None:
@@ -231,9 +302,13 @@ class TcpSender:
     def _send_retransmit(self, skb: SkBuff):
         yield from self.host.cpu_work(self.host.costs.tx_segment_s(skb.payload))
         skb.sent_at = self.env.now
+        if self._c_rtx is not None:
+            self._c_rtx.inc()
         yield self.nic.enqueue(skb)
-        self.host.trace.post(self.env.now, "tcp.tx.retransmit", skb.ident,
-                             seq=skb.seq)
+        trace = self.host.trace
+        if trace.enabled:
+            trace.post(self.env.now, "tcp.tx.retransmit", skb.ident,
+                       seq=skb.seq, len=skb.payload, conn=self._conn_label)
 
     def _update_rtt(self, sample_s: float) -> None:
         if self.srtt_s is None:
@@ -260,7 +335,14 @@ class TcpSender:
             self._rto_armed = False
             return
         self.cwnd.on_timeout()
+        if self._c_rto is not None:
+            self._c_rto.inc()
+        trace = self.host.trace
+        if trace.enabled:
+            trace.post(self.env.now, "tcp.rto.fire", self._conn_label,
+                       una=self.snd_una, rto_s=self.rto_s)
         self.recover_point = self.snd_nxt
         self.rto_s = min(self.rto_s * 2.0, 60.0)
+        self._note_cwnd()
         self._retransmit_head()
         self._arm_rto(force=True)

@@ -1,0 +1,97 @@
+"""Trace exporters: JSONL event dumps and Chrome ``trace_event`` JSON.
+
+The Chrome format targets Perfetto / ``chrome://tracing``: one *thread*
+(track) per simulated component, instant events (``ph: "i"``) for every
+instrumentation point, and counter tracks (``ph: "C"``) for congestion
+windows so cwnd evolution plots directly in the UI.  Timestamps are
+microseconds, matching the tooling's expectations; simulation time zero
+maps to trace time zero.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.telemetry.points import layer_of
+from repro.telemetry.session import EventTuple
+
+__all__ = ["write_jsonl", "read_jsonl", "chrome_trace_dict",
+           "write_chrome_trace"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _event_record(event: EventTuple) -> Dict[str, Any]:
+    track, time, point, subject, detail = event
+    return {"track": track, "time": time, "point": point,
+            "subject": subject, "detail": detail}
+
+
+def write_jsonl(events: Iterable[EventTuple], path: PathLike) -> int:
+    """Dump events one-JSON-object-per-line; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(_event_record(event), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> List[EventTuple]:
+    """Parse a :func:`write_jsonl` dump back into event tuples."""
+    events: List[EventTuple] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            events.append((rec["track"], rec["time"], rec["point"],
+                           rec["subject"], rec["detail"]))
+    return events
+
+
+def chrome_trace_dict(events: Sequence[EventTuple]) -> Dict[str, Any]:
+    """Build the ``trace_event`` JSON object for ``events``.
+
+    * one ``thread_name`` metadata record per track (tids assigned in
+      sorted-track order, so output is deterministic),
+    * ``ph: "i"`` thread-scoped instants for every point,
+    * ``ph: "C"`` counter samples for ``tcp.cwnd.update`` events, keyed
+      per connection, charting cwnd/ssthresh over time.
+    """
+    tracks = sorted({track for track, *_ in events})
+    tids = {track: tid for tid, track in enumerate(tracks, start=1)}
+    records: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": 1, "tid": tids[t], "name": "thread_name",
+         "args": {"name": t}}
+        for t in tracks
+    ]
+    for track, time, point, subject, detail in events:
+        ts = round(time * 1e6, 3)
+        args: Dict[str, Any] = dict(detail)
+        if subject is not None:
+            args["subject"] = subject
+        records.append({"ph": "i", "s": "t", "pid": 1, "tid": tids[track],
+                        "ts": ts, "name": point, "cat": layer_of(point),
+                        "args": args})
+        if point == "tcp.cwnd.update":
+            conn = detail.get("conn", subject)
+            counter_args = {"cwnd": detail.get("cwnd", 0)}
+            if "ssthresh" in detail:
+                counter_args["ssthresh"] = detail["ssthresh"]
+            records.append({"ph": "C", "pid": 1, "tid": tids[track],
+                            "ts": ts, "name": f"cwnd {conn}",
+                            "args": counter_args})
+    return {"traceEvents": records, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[EventTuple], path: PathLike) -> int:
+    """Write a Perfetto-loadable trace; returns the record count."""
+    doc = chrome_trace_dict(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

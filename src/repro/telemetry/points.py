@@ -1,0 +1,97 @@
+"""Catalog of named instrumentation points.
+
+Every ``TraceBuffer.post`` call site in the simulator uses one of the
+names below.  The catalog is the contract between the instrumented
+layers and the exporters: tests assert that every point posted during a
+run is registered here, and :mod:`docs/OBSERVABILITY.md` renders this
+table as the user-facing reference.
+
+Layer prefixes mirror the source tree: ``pcix``/``mch``/``nic``/``irq``
+(hw), ``skbuff``/``copy``/``host`` (oskernel boundary), ``tcp`` (tcp),
+``switch``/``wan``/``pos`` (net).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["InstrumentationPoint", "CATALOG", "layer_of"]
+
+
+@dataclass(frozen=True)
+class InstrumentationPoint:
+    """One named trace point: where it fires and what it means."""
+
+    name: str
+    layer: str
+    description: str
+
+
+_POINTS: Tuple[Tuple[str, str, str], ...] = (
+    # -- hardware: I/O bus ----------------------------------------------------
+    ("pcix.dma", "hw",
+     "PCI-X DMA transfer completed (bytes, bursts, MMRBC in effect)"),
+    ("mch.dma", "hw",
+     "Memory-controller-hub (CSA) DMA transfer completed"),
+    # -- hardware: NIC tx -----------------------------------------------------
+    ("nic.tx.queue", "hw", "Frame accepted into the adapter tx queue"),
+    ("nic.tx.drop", "hw", "Frame dropped at the full adapter tx queue"),
+    ("nic.tx.wire", "hw", "Frame serialized onto the wire"),
+    ("nic.tso.split", "hw",
+     "TSO engine split an oversized send into wire-MTU frames"),
+    # -- hardware: NIC rx + interrupts ---------------------------------------
+    ("nic.rx.frame", "hw", "Frame arrived from the wire into the rx ring"),
+    ("nic.rx.drop", "hw", "Frame dropped at the full rx descriptor ring"),
+    ("nic.rx.dma", "hw", "Rx frame DMA'd to host memory"),
+    ("irq.coalesce.arm", "hw", "Interrupt moderation timer armed"),
+    ("irq.coalesce.fire", "hw",
+     "Coalesced interrupt fired (batch = frames per interrupt)"),
+    # -- OS kernel boundary ---------------------------------------------------
+    ("host.rx.dispatch", "oskernel",
+     "Interrupt handler dispatched rx frames to the protocol layer"),
+    ("skbuff.alloc", "oskernel", "sk_buff allocated from the buddy allocator"),
+    ("skbuff.free", "oskernel", "sk_buff returned to the buddy allocator"),
+    ("skbuff.wmem.charge", "oskernel",
+     "Send-socket memory charged for a queued segment"),
+    ("skbuff.rmem.charge", "oskernel",
+     "Receive-socket memory charged for a buffered segment"),
+    ("copy.tx", "oskernel", "User-to-kernel copy on the transmit path"),
+    ("copy.rx", "oskernel", "Kernel-to-user copy on the receive path"),
+    # -- TCP ------------------------------------------------------------------
+    ("tcp.tx.write", "tcp", "Application write accepted by the sender"),
+    ("tcp.tx.block", "tcp", "Application write blocked on send-buffer space"),
+    ("tcp.tx.segment", "tcp", "Segment transmitted (seq, len)"),
+    ("tcp.tx.retransmit", "tcp", "Segment retransmitted (RTO or fast rtx)"),
+    ("tcp.cwnd.update", "tcp",
+     "Congestion window changed (cwnd, ssthresh, phase)"),
+    ("tcp.rto.fire", "tcp", "Retransmission timeout expired"),
+    ("tcp.fastrtx", "tcp", "Fast retransmit triggered by duplicate ACKs"),
+    ("tcp.rx.deliver", "tcp", "In-order data delivered to the application"),
+    ("tcp.rx.ack", "tcp", "ACK emitted by the receiver"),
+    ("tcp.rx.ooo", "tcp", "Out-of-order segment buffered"),
+    ("tcp.rx.dup", "tcp", "Duplicate segment discarded"),
+    ("tcp.delack.fire", "tcp", "Delayed-ACK timer fired"),
+    # -- network --------------------------------------------------------------
+    ("switch.enqueue", "net", "Frame queued on a switch output port"),
+    ("switch.drop", "net", "Frame dropped at a full switch output queue"),
+    ("switch.forward", "net", "Frame forwarded out of a switch port"),
+    ("wan.enqueue", "net", "Packet queued at a WAN router"),
+    ("wan.drop", "net", "Packet dropped at a full WAN router queue"),
+    ("wan.forward", "net", "Packet forwarded by a WAN router"),
+    ("pos.tx", "net", "Packet serialized onto a POS circuit"),
+)
+
+#: name -> :class:`InstrumentationPoint`, the authoritative catalog.
+CATALOG: Dict[str, InstrumentationPoint] = {
+    name: InstrumentationPoint(name, layer, desc)
+    for name, layer, desc in _POINTS
+}
+
+
+def layer_of(point: str) -> str:
+    """Layer of a (possibly uncataloged) point, by prefix heuristics."""
+    entry = CATALOG.get(point)
+    if entry is not None:
+        return entry.layer
+    return point.split(".", 1)[0]

@@ -1,0 +1,195 @@
+"""Ambient telemetry session: one switchboard for a whole run.
+
+A :class:`TelemetrySession` is activated with :func:`telemetry_session`
+around an experiment.  While active, instrumented components discover it
+through three module-level hooks:
+
+* :func:`active_metrics` — the shared :class:`MetricsRegistry` (or
+  ``None``), looked up once at construction time so the per-event cost
+  stays one ``is None`` check;
+* :func:`register_trace` — components hand over their
+  :class:`~repro.sim.trace.TraceBuffer` under a track name; the session
+  enables it when event export was requested;
+* :func:`attach_environment` — called from ``Environment.__init__`` so
+  engine self-profiling can be switched on without the model layers
+  knowing about it.
+
+The active session lives in a **module global**, deliberately not a
+``contextvars`` variable: fork-based ``SweepRunner`` workers inherit
+module globals, which is exactly the propagation we want.  Inside a
+worker (or on the serial path, for parity) :func:`nested_session` swaps
+in a fresh session around one task; its :meth:`~TelemetrySession.
+export_payload` result travels back to the parent, which merges it in
+task order — so serial and parallel runs aggregate identically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import MeasurementError
+from repro.sim.trace import TraceBuffer
+from repro.telemetry.profiling import EngineProfiler
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["TelemetrySession", "telemetry_session", "nested_session",
+           "active_session", "active_metrics", "register_trace",
+           "attach_environment"]
+
+#: Scrubbed trace record: (track, time, point, subject, detail).
+EventTuple = Tuple[str, float, str, Any, Dict[str, Any]]
+
+_PRIMITIVES = (bool, int, float, str, type(None))
+
+_ACTIVE: Optional["TelemetrySession"] = None
+
+
+def _scrub(value: Any) -> Any:
+    """JSON-/pickle-safe stand-in for a traced value.
+
+    Model objects (connections, sk_buffs, hosts) are reduced to their
+    ``name``/``ident`` or type name: trace payloads cross process
+    boundaries and must not drag generators along.
+    """
+    if isinstance(value, _PRIMITIVES):
+        return value
+    for attr in ("name", "ident"):
+        label = getattr(value, attr, None)
+        if isinstance(label, _PRIMITIVES) and label is not None:
+            return label
+    return type(value).__name__
+
+
+class TelemetrySession:
+    """Collects metrics, trace events and engine profiles for one run."""
+
+    def __init__(self, metrics: bool = True, trace: bool = False,
+                 profile: bool = False):
+        self.metrics_enabled = metrics
+        self.trace_enabled = trace
+        self.profile_enabled = profile
+        self.registry = MetricsRegistry()
+        self.profile: Optional[EngineProfiler] = (
+            EngineProfiler() if profile else None)
+        self.events: List[EventTuple] = []
+        self._tracks: List[Tuple[str, TraceBuffer]] = []
+        self._track_names: Dict[str, int] = {}
+
+    # -- component hooks ----------------------------------------------------
+    def add_track(self, name: str, buffer: TraceBuffer) -> str:
+        """Adopt a component's trace buffer under ``name``.
+
+        Duplicate names get a ``#2``, ``#3``... suffix so repeated
+        topologies in one session keep distinct tracks.  The buffer is
+        switched on only when the session wants events.
+        """
+        count = self._track_names.get(name, 0) + 1
+        self._track_names[name] = count
+        track = name if count == 1 else f"{name}#{count}"
+        self._tracks.append((track, buffer))
+        if self.trace_enabled:
+            buffer.enabled = True
+        return track
+
+    # -- collection ----------------------------------------------------------
+    def collect_local(self) -> None:
+        """Drain adopted trace buffers into ``self.events`` (idempotent)."""
+        for track, buffer in self._tracks:
+            for ev in buffer:
+                self.events.append((
+                    track, ev.time, ev.point, _scrub(ev.subject),
+                    {k: _scrub(v) for k, v in ev.detail.items()}))
+            buffer.clear()
+
+    def export_payload(self) -> Dict[str, Any]:
+        """Picklable dump of everything this session collected."""
+        self.collect_local()
+        return {
+            "events": self.events,
+            "metrics": self.registry.snapshot() if self.metrics_enabled else [],
+            "profile": self.profile.snapshot() if self.profile else None,
+        }
+
+    def absorb(self, payload: Dict[str, Any], prefix: str = "") -> None:
+        """Merge a worker payload: events append (tracks prefixed),
+        metrics merge by kind, profiles accumulate."""
+        for track, time, point, subject, detail in payload["events"]:
+            self.events.append((prefix + track, time, point, subject, detail))
+        if payload["metrics"]:
+            self.registry.merge_snapshot(payload["metrics"])
+        if payload["profile"] is not None and self.profile is not None:
+            self.profile.merge_snapshot(payload["profile"])
+
+
+# -- ambient lookup -------------------------------------------------------------
+def active_session() -> Optional[TelemetrySession]:
+    """The session currently collecting, or ``None``."""
+    return _ACTIVE
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    """The active session's registry when metrics are on, else ``None``.
+
+    Components call this once in ``__init__`` and keep the result; the
+    steady-state cost of disabled metrics is one ``is None`` test.
+    """
+    session = _ACTIVE
+    if session is not None and session.metrics_enabled:
+        return session.registry
+    return None
+
+
+def register_trace(name: str, buffer: TraceBuffer) -> None:
+    """Offer a component's trace buffer to the active session (no-op
+    when none is active)."""
+    session = _ACTIVE
+    if session is not None:
+        session.add_track(name, buffer)
+
+
+def attach_environment(env: Any) -> None:
+    """Hook called by ``Environment.__init__``: enables engine
+    self-profiling when the active session asked for it."""
+    session = _ACTIVE
+    if session is not None and session.profile is not None:
+        env.enable_profiling(session.profile)
+
+
+# -- activation ----------------------------------------------------------------
+@contextlib.contextmanager
+def telemetry_session(metrics: bool = True, trace: bool = False,
+                      profile: bool = False
+                      ) -> Iterator[TelemetrySession]:
+    """Activate a fresh top-level session for the duration of the block."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise MeasurementError("a telemetry session is already active; "
+                               "use nested_session() inside workers")
+    session = TelemetrySession(metrics=metrics, trace=trace, profile=profile)
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        session.collect_local()
+        _ACTIVE = None
+
+
+@contextlib.contextmanager
+def nested_session(metrics: bool = True, trace: bool = False,
+                   profile: bool = False) -> Iterator[TelemetrySession]:
+    """Swap in a fresh session, restoring the previous one afterwards.
+
+    Used around a single sweep task — in a forked worker (which
+    inherited the parent's session object through the fork) and on the
+    serial path alike, so both aggregate through the same code.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    session = TelemetrySession(metrics=metrics, trace=trace, profile=profile)
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        session.collect_local()
+        _ACTIVE = previous

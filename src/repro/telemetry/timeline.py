@@ -1,0 +1,65 @@
+"""tcptrace-style per-connection timelines.
+
+``tcptrace`` turns a packet capture into time-sequence graphs: data
+segments, ACKs and retransmits against time, with the congestion window
+alongside.  :func:`build_timelines` produces the same series from the
+``tcp.*`` instrumentation points, keyed by connection label, ready for
+plotting (each series is a list of ``[time, ...]`` rows).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.telemetry.session import EventTuple
+
+__all__ = ["build_timelines", "write_timeline"]
+
+PathLike = Union[str, pathlib.Path]
+
+#: point -> (series name, detail fields recorded after the timestamp)
+_SERIES = {
+    "tcp.tx.segment": ("segments", ("seq", "len")),
+    "tcp.tx.retransmit": ("retransmits", ("seq", "len")),
+    "tcp.rx.ack": ("acks", ("ack",)),
+    "tcp.rx.deliver": ("deliveries", ("nbytes",)),
+    "tcp.cwnd.update": ("cwnd", ("cwnd", "ssthresh")),
+}
+
+
+def _conn_label(track: str, subject: Any, detail: Dict[str, Any]) -> str:
+    conn = detail.get("conn")
+    if conn is None:
+        conn = subject if isinstance(subject, str) else track
+    return str(conn)
+
+
+def build_timelines(events: Sequence[EventTuple]) -> Dict[str, Any]:
+    """Group ``tcp.*`` events into per-connection plottable series."""
+    connections: Dict[str, Dict[str, List[List[Any]]]] = {}
+    for track, time, point, subject, detail in events:
+        series = _SERIES.get(point)
+        if series is None:
+            continue
+        name, fields = series
+        conn = _conn_label(track, subject, detail)
+        entry = connections.setdefault(conn, {
+            "segments": [], "retransmits": [], "acks": [],
+            "deliveries": [], "cwnd": [],
+        })
+        entry[name].append([time] + [detail.get(f) for f in fields])
+    for entry in connections.values():
+        for rows in entry.values():
+            rows.sort(key=lambda row: row[0])
+    return {"format": "repro-timeline-v1", "connections": connections}
+
+
+def write_timeline(events: Sequence[EventTuple], path: PathLike) -> int:
+    """Write per-connection timelines as JSON; returns the connection
+    count."""
+    doc = build_timelines(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True)
+    return len(doc["connections"])

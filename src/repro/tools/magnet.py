@@ -27,7 +27,14 @@ __all__ = ["Magnet", "PathProfile"]
 
 @dataclass(frozen=True)
 class PathProfile:
-    """Latency statistics between two instrumentation points."""
+    """Latency statistics between two instrumentation points.
+
+    ``requeued`` counts subjects that re-entered ``src_point`` before
+    reaching ``dst_point`` (retransmitted packets: the first entry time
+    is kept, later re-entries are counted here, not silently ignored).
+    ``unmatched`` counts subjects that entered but never reached
+    ``dst_point`` (lost or still in flight when tracing stopped).
+    """
 
     src_point: str
     dst_point: str
@@ -35,6 +42,8 @@ class PathProfile:
     mean_s: float
     p50_s: float
     p99_s: float
+    requeued: int = 0
+    unmatched: int = 0
 
     @property
     def mean_us(self) -> float:
@@ -79,13 +88,20 @@ class Magnet:
         matched by packet identity across all attached hosts."""
         first: Dict[object, float] = {}
         latencies: List[float] = []
+        requeued = 0
         events = []
         for host in self.hosts:
             events.extend(host.trace.select())
         events.sort(key=lambda e: e.time)
         for ev in events:
             if ev.point == src_point:
-                first.setdefault(ev.subject, ev.time)
+                if ev.subject in first:
+                    # Retransmission: the subject re-entered the path
+                    # before completing it.  Keep the first entry time
+                    # (the packet's true path start) and count it.
+                    requeued += 1
+                else:
+                    first[ev.subject] = ev.time
             elif ev.point == dst_point:
                 t0 = first.pop(ev.subject, None)
                 if t0 is not None:
@@ -100,4 +116,6 @@ class Magnet:
             mean_s=float(arr.mean()),
             p50_s=float(np.percentile(arr, 50)),
             p99_s=float(np.percentile(arr, 99)),
+            requeued=requeued,
+            unmatched=len(first),
         )

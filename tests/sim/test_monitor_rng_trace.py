@@ -145,6 +145,22 @@ class TestTraceBuffer:
         # newest events survive
         assert any(e.subject == 24 for e in buf)
 
+    def test_ring_drop_count_is_exact(self):
+        buf = TraceBuffer(max_events=10, enabled=True)
+        for i in range(25):
+            buf.post(float(i), "p", i)
+        assert len(buf) == 10
+        assert buf.dropped == 15  # exactly the evicted events
+        # survivors are precisely the newest ten, oldest-first
+        assert [e.subject for e in buf] == list(range(15, 25))
+
+    def test_clear_resets_drop_count(self):
+        buf = TraceBuffer(max_events=2, enabled=True)
+        for i in range(5):
+            buf.post(0.0, "p", i)
+        buf.clear()
+        assert len(buf) == 0 and buf.dropped == 0
+
     def test_points_histogram(self):
         buf = TraceBuffer(enabled=True)
         for _ in range(3):

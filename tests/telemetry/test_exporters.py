@@ -1,0 +1,170 @@
+"""Exporters: JSONL round-trip, Chrome trace schema, timeline series."""
+
+import json
+
+import pytest
+
+from repro.telemetry.exporters import (
+    chrome_trace_dict,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.timeline import build_timelines, write_timeline
+
+EVENTS = [
+    ("fig3/hostA", 0.001, "tcp.tx.segment", "skb1",
+     {"seq": 0, "len": 8948, "conn": "conn1"}),
+    ("fig3/hostA", 0.0015, "tcp.cwnd.update", "conn1",
+     {"conn": "conn1", "cwnd": 4, "ssthresh": -1, "phase": "slowstart"}),
+    ("fig3/hostB", 0.002, "tcp.rx.ack", "skb2",
+     {"ack": 8948, "win": 65536, "conn": "conn1"}),
+    ("fig3/hostB", 0.0019, "tcp.rx.deliver", "skb1",
+     {"seq": 0, "len": 8948, "nbytes": 8948, "conn": "conn1"}),
+    ("fig3/sw0", 0.0012, "switch.enqueue", "skb1", {"port": 1, "qlen": 1}),
+]
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        n = write_jsonl(EVENTS, path)
+        assert n == len(EVENTS)
+        assert read_jsonl(path) == EVENTS
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(EVENTS, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(EVENTS)
+        for line in lines:
+            rec = json.loads(line)
+            assert set(rec) == {"track", "time", "point", "subject", "detail"}
+
+
+#: Minimal JSON schema for the Chrome trace_event "JSON object format":
+#: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+CHROME_TRACE_SCHEMA = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["ph", "pid", "tid"],
+                "properties": {
+                    "ph": {"enum": ["M", "i", "C"]},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ts": {"type": "number"},
+                    "args": {"type": "object"},
+                },
+                "allOf": [
+                    {
+                        "if": {"properties": {"ph": {"const": "i"}}},
+                        "then": {"required": ["ts", "name", "cat", "s"]},
+                    },
+                    {
+                        "if": {"properties": {"ph": {"const": "C"}}},
+                        "then": {"required": ["ts", "name", "args"]},
+                    },
+                ],
+            },
+        },
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+    },
+}
+
+
+class TestChromeTrace:
+    def test_document_matches_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        doc = chrome_trace_dict(EVENTS)
+        jsonschema.validate(doc, CHROME_TRACE_SCHEMA)
+
+    def test_one_thread_name_record_per_track(self):
+        doc = chrome_trace_dict(EVENTS)
+        meta = [r for r in doc["traceEvents"] if r["ph"] == "M"]
+        assert sorted(r["args"]["name"] for r in meta) == \
+            ["fig3/hostA", "fig3/hostB", "fig3/sw0"]
+        assert len({r["tid"] for r in meta}) == 3
+
+    def test_tids_deterministic_by_sorted_track(self):
+        a = chrome_trace_dict(EVENTS)
+        b = chrome_trace_dict(list(reversed(EVENTS)))
+        tids_a = {r["args"]["name"]: r["tid"]
+                  for r in a["traceEvents"] if r["ph"] == "M"}
+        tids_b = {r["args"]["name"]: r["tid"]
+                  for r in b["traceEvents"] if r["ph"] == "M"}
+        assert tids_a == tids_b
+
+    def test_instants_carry_layer_category_and_microseconds(self):
+        doc = chrome_trace_dict(EVENTS)
+        seg = [r for r in doc["traceEvents"]
+               if r["ph"] == "i" and r["name"] == "tcp.tx.segment"][0]
+        assert seg["cat"] == "tcp"
+        assert seg["ts"] == pytest.approx(1000.0)  # 0.001 s -> 1000 us
+        assert seg["args"]["seq"] == 0
+        assert seg["args"]["subject"] == "skb1"
+
+    def test_cwnd_updates_emit_counter_samples(self):
+        doc = chrome_trace_dict(EVENTS)
+        counters = [r for r in doc["traceEvents"] if r["ph"] == "C"]
+        assert len(counters) == 1
+        (c,) = counters
+        assert c["name"] == "cwnd conn1"
+        assert c["args"] == {"cwnd": 4, "ssthresh": -1}
+
+    def test_write_returns_record_count_and_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(EVENTS, path)
+        doc = json.loads(path.read_text())
+        assert n == len(doc["traceEvents"])
+        # 3 metadata + 5 instants + 1 counter
+        assert n == 9
+
+
+class TestTimeline:
+    def test_series_grouped_by_connection(self):
+        doc = build_timelines(EVENTS)
+        assert doc["format"] == "repro-timeline-v1"
+        assert list(doc["connections"]) == ["conn1"]
+        conn = doc["connections"]["conn1"]
+        assert conn["segments"] == [[0.001, 0, 8948]]
+        assert conn["acks"] == [[0.002, 8948]]
+        assert conn["deliveries"] == [[0.0019, 8948]]
+        assert conn["cwnd"] == [[0.0015, 4, -1]]
+        assert conn["retransmits"] == []
+
+    def test_non_tcp_points_ignored(self):
+        doc = build_timelines(EVENTS)
+        for rows in doc["connections"]["conn1"].values():
+            for row in rows:
+                assert row[0] != 0.0012  # the switch event
+
+    def test_rows_sorted_by_time(self):
+        events = [
+            ("t", 2.0, "tcp.tx.segment", "b", {"seq": 10, "len": 1,
+                                               "conn": "c"}),
+            ("t", 1.0, "tcp.tx.segment", "a", {"seq": 0, "len": 1,
+                                               "conn": "c"}),
+        ]
+        rows = build_timelines(events)["connections"]["c"]["segments"]
+        assert [r[0] for r in rows] == [1.0, 2.0]
+
+    def test_conn_label_falls_back_to_subject_then_track(self):
+        events = [
+            ("trackX", 0.0, "tcp.rx.ack", "conn9", {"ack": 1}),
+            ("trackY", 0.0, "tcp.rx.ack", 123, {"ack": 2}),
+        ]
+        doc = build_timelines(events)
+        assert set(doc["connections"]) == {"conn9", "trackY"}
+
+    def test_write_returns_connection_count(self, tmp_path):
+        path = tmp_path / "timeline.json"
+        assert write_timeline(EVENTS, path) == 1
+        doc = json.loads(path.read_text())
+        assert doc["connections"]["conn1"]["segments"]

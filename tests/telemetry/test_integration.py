@@ -1,0 +1,183 @@
+"""End-to-end telemetry: live points, profiling, sweep-worker parity.
+
+The contract tested here is the whole reason the telemetry stack exists:
+
+* every point posted by a real simulation is in the catalog, and at
+  least 25 distinct points fire across the hw/oskernel/tcp/net layers;
+* engine self-profiling attributes events and wall-clock to components;
+* a parallel sweep merges to the *identical* metrics a serial sweep
+  produces (events match in shape; idents differ across processes).
+"""
+
+from collections import Counter as TallyCounter
+
+from repro.config import TuningConfig
+from repro.net.topology import BackToBack, ThroughSwitch, build_wan_path
+from repro.sim import Environment
+from repro.sim.runner import SweepRunner
+from repro.tcp.connection import TcpConnection
+from repro.telemetry.points import CATALOG
+from repro.telemetry.profiling import EngineProfiler, component_of
+from repro.telemetry.session import telemetry_session
+
+
+def _stream(env, conn, payload, count):
+    def app():
+        yield from conn.send_stream(payload, count)
+        yield from conn.wait_delivered(payload * count)
+
+    env.run(until=env.process(app()))
+
+
+def _lossy_back_to_back():
+    """Fig 2(a) with one dropped segment: exercises the recovery points."""
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+    conn = TcpConnection(env, bb.a, bb.b)
+    inner = bb.links[0].sink
+    counter = {"n": 0}
+
+    def dropping_receive(skb):
+        if skb.kind == "data" and not skb.meta.get("retransmit"):
+            counter["n"] += 1
+            if counter["n"] == 20:
+                return  # one-time loss
+        inner.receive_frame(skb)
+
+    bb.links[0].connect(
+        type("Tap", (), {"receive_frame": staticmethod(dropping_receive)})())
+    _stream(env, conn, 8948, 96)
+    return conn
+
+
+def _through_switch():
+    env = Environment()
+    ts = ThroughSwitch.create(env, TuningConfig.oversized_windows(9000))
+    conn = TcpConnection(env, ts.a, ts.b)
+    _stream(env, conn, 8948, 32)
+    return conn
+
+
+def _wan():
+    env = Environment()
+    tb = build_wan_path(env, TuningConfig.wan_tuned(buf=1 << 21))
+    for p in (tb.forward, tb.reverse):
+        p.oc192.propagation_s *= 0.01
+        p.oc48.propagation_s *= 0.01
+    conn = TcpConnection(env, tb.sunnyvale, tb.geneva)
+    _stream(env, conn, 8948, 64)
+    return conn
+
+
+class TestLivePoints:
+    def test_25_plus_cataloged_points_fire_across_all_layers(self):
+        with telemetry_session(metrics=True, trace=True) as session:
+            _lossy_back_to_back()
+            _through_switch()
+            wan_conn = _wan()
+        points = TallyCounter(point for _, _, point, _, _ in session.events)
+        uncataloged = set(points) - set(CATALOG)
+        assert not uncataloged, f"posted points missing from CATALOG: " \
+                                f"{sorted(uncataloged)}"
+        assert len(points) >= 25, sorted(points)
+        layers = {CATALOG[p].layer for p in points}
+        assert layers == {"hw", "oskernel", "tcp", "net"}
+        # the recovery path fired
+        assert points["tcp.tx.retransmit"] >= 1
+        assert points["tcp.rx.ooo"] >= 1
+        # the network devices fired
+        assert points["switch.forward"] >= 32
+        assert points["wan.forward"] >= 64
+        assert points["pos.tx"] >= 64
+        # metrics agree with the model's own statistics where they overlap
+        reg = session.registry
+        sent = reg.counter("tcp.tx.segments", host="sunnyvale").value
+        assert sent == wan_conn.sender.segments_sent
+
+    def test_tracks_follow_component_names(self):
+        with telemetry_session(metrics=False, trace=True) as session:
+            _through_switch()
+        tracks = {track for track, *_ in session.events}
+        assert "hostA" in tracks and "hostB" in tracks
+        assert "fastiron" in tracks
+
+
+class TestEngineProfiling:
+    def test_profile_attributes_events_and_components(self):
+        with telemetry_session(metrics=False, profile=True) as session:
+            env = Environment()
+            bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+            conn = TcpConnection(env, bb.a, bb.b)
+            _stream(env, conn, 8948, 32)
+        prof = session.profile
+        assert prof.events_total > 0
+        assert prof.heap_hwm >= 1
+        assert prof.wall_time_s > 0
+        assert sum(prof.event_counts.values()) == prof.events_total
+        # host-instance prefixes are stripped: all senders aggregate
+        assert "tcp.pump" in prof.callback_counts
+        assert not any(key.startswith("hostA.") for key in prof.callback_counts)
+        table = prof.render_table()
+        assert "Engine profile" in table
+        assert "wall-clock by component" in table
+
+    def test_component_of_strips_instances(self):
+        assert component_of("hostA.tcp.pump") == "tcp.pump"
+        assert component_of("oc192#17") == "oc192"
+        assert component_of("pktgen") == "pktgen"
+
+    def test_profiles_merge_additively(self):
+        a, b = EngineProfiler(), EngineProfiler()
+        a.event_counts["Timeout"] = 3
+        a.events_total = 3
+        a.heap_hwm = 5
+        b.event_counts["Timeout"] = 2
+        b.events_total = 2
+        b.heap_hwm = 9
+        a.merge(b)
+        assert a.event_counts["Timeout"] == 5
+        assert a.events_total == 5
+        assert a.heap_hwm == 9
+
+    def test_disabled_profiling_attaches_nothing(self):
+        env = Environment()
+        assert env._profiler is None
+
+
+def _sweep_point(task):
+    """Module-level worker (pickled into pool processes)."""
+    payload, count = task
+    env = Environment()
+    bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+    conn = TcpConnection(env, bb.a, bb.b)
+    _stream(env, conn, payload, count)
+    return conn.receiver.bytes_delivered
+
+
+class TestSweepParity:
+    TASKS = [(8948, 8), (8948, 16), (1448, 8)]
+
+    def _run(self, jobs):
+        with telemetry_session(metrics=True, trace=True) as session:
+            results = SweepRunner(jobs).map(_sweep_point, self.TASKS)
+        return results, session.registry.snapshot(), session.events
+
+    def test_parallel_metrics_identical_to_serial(self):
+        r_serial, m_serial, e_serial = self._run(1)
+        r_par, m_par, e_par = self._run(2)
+        assert r_serial == r_par
+        # the acceptance criterion: merged metrics are bit-identical
+        assert m_serial == m_par
+        # events match in shape: same per-track point tallies.  (Subject
+        # idents come from process-global counters, so the raw tuples
+        # differ between one process and a forked pool.)
+        def shape(events):
+            return TallyCounter((track, point)
+                                for track, _, point, _, _ in events)
+        assert shape(e_serial) == shape(e_par)
+
+    def test_worker_events_prefixed_by_task_index(self):
+        _, _, events = self._run(2)
+        prefixes = {track.split("/")[0] for track, *_ in events}
+        assert len(prefixes) == len(self.TASKS)
+        assert all("[" in p and p.endswith("]") for p in prefixes)

@@ -1,0 +1,141 @@
+"""Telemetry session: activation, track adoption, scrubbing, absorption."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.sim.trace import TraceBuffer
+from repro.telemetry.points import CATALOG, layer_of
+from repro.telemetry.session import (
+    TelemetrySession,
+    active_metrics,
+    active_session,
+    nested_session,
+    register_trace,
+    telemetry_session,
+)
+
+
+class TestActivation:
+    def test_no_session_by_default(self):
+        assert active_session() is None
+        assert active_metrics() is None
+
+    def test_context_manager_activates_and_clears(self):
+        with telemetry_session() as session:
+            assert active_session() is session
+            assert active_metrics() is session.registry
+        assert active_session() is None
+
+    def test_double_activation_rejected(self):
+        with telemetry_session():
+            with pytest.raises(MeasurementError, match="already active"):
+                with telemetry_session():
+                    pass
+
+    def test_metrics_off_hides_registry(self):
+        with telemetry_session(metrics=False):
+            assert active_session() is not None
+            assert active_metrics() is None
+
+    def test_nested_session_swaps_and_restores(self):
+        with telemetry_session() as outer:
+            with nested_session() as inner:
+                assert active_session() is inner
+                assert inner is not outer
+            assert active_session() is outer
+
+
+class TestTracks:
+    def test_register_enables_buffer_when_tracing(self):
+        buf = TraceBuffer()
+        with telemetry_session(trace=True):
+            register_trace("hostA", buf)
+            assert buf.enabled
+
+    def test_register_leaves_buffer_off_without_tracing(self):
+        buf = TraceBuffer()
+        with telemetry_session(trace=False):
+            register_trace("hostA", buf)
+            assert not buf.enabled
+
+    def test_register_without_session_is_noop(self):
+        register_trace("hostA", TraceBuffer())  # must not raise
+
+    def test_duplicate_track_names_get_suffixes(self):
+        session = TelemetrySession(trace=True)
+        assert session.add_track("sw", TraceBuffer()) == "sw"
+        assert session.add_track("sw", TraceBuffer()) == "sw#2"
+        assert session.add_track("sw", TraceBuffer()) == "sw#3"
+
+
+class _Conn:
+    name = "conn7"
+
+
+class _Opaque:
+    pass
+
+
+class TestCollection:
+    def _session_with_events(self):
+        session = TelemetrySession(trace=True)
+        buf = TraceBuffer()
+        session.add_track("hostA", buf)
+        buf.post(1.5, "tcp.tx.segment", _Conn(), seq=10, conn=_Conn(),
+                 skb=_Opaque())
+        return session, buf
+
+    def test_collect_scrubs_objects_to_labels(self):
+        session, _ = self._session_with_events()
+        session.collect_local()
+        (track, time, point, subject, detail), = session.events
+        assert (track, time, point) == ("hostA", 1.5, "tcp.tx.segment")
+        assert subject == "conn7"
+        assert detail["conn"] == "conn7"
+        assert detail["skb"] == "_Opaque"  # no name/ident: type name
+        assert detail["seq"] == 10
+
+    def test_collect_drains_buffers(self):
+        session, buf = self._session_with_events()
+        session.collect_local()
+        session.collect_local()
+        assert len(session.events) == 1
+        assert len(buf) == 0
+
+    def test_export_payload_shape(self):
+        session, _ = self._session_with_events()
+        session.registry.counter("c").inc()
+        payload = session.export_payload()
+        assert set(payload) == {"events", "metrics", "profile"}
+        assert len(payload["events"]) == 1
+        assert payload["metrics"][0]["name"] == "c"
+        assert payload["profile"] is None
+
+    def test_absorb_prefixes_tracks_and_merges_metrics(self):
+        worker, _ = self._session_with_events()
+        worker.registry.counter("c").inc(2)
+        parent = TelemetrySession(trace=True)
+        parent.registry.counter("c").inc(1)
+        parent.absorb(worker.export_payload(), prefix="pt[0]/")
+        assert parent.events[0][0] == "pt[0]/hostA"
+        assert parent.registry.counter("c").value == 3
+
+
+class TestCatalog:
+    def test_at_least_25_points(self):
+        assert len(CATALOG) >= 25
+
+    def test_keys_match_entry_names(self):
+        for name, point in CATALOG.items():
+            assert point.name == name
+            assert point.layer in {"hw", "oskernel", "tcp", "net"}
+            assert point.description
+
+    def test_layer_of_cataloged_point(self):
+        assert layer_of("tcp.tx.segment") == "tcp"
+        assert layer_of("pcix.dma") == "hw"
+        assert layer_of("switch.drop") == "net"
+
+    def test_layer_of_uncataloged_falls_back_to_prefix(self):
+        assert layer_of("tcp.something.new") == "tcp"
+        assert layer_of("totally.unknown") == "totally"

@@ -30,3 +30,38 @@ def test_run_fast_experiments(capsys, tmp_path):
     assert "=== fig8" in out and "=== tab1" in out
     assert (tmp_path / "fig8.txt").exists()
     assert "Geneva-Sunnyvale" in (tmp_path / "tab1.txt").read_text()
+
+
+def test_telemetry_flags(capsys, tmp_path):
+    """--metrics/--trace/--trace-jsonl/--timeline/--profile end to end."""
+    import json
+
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "events.jsonl"
+    timeline = tmp_path / "timeline.json"
+    assert main(["pktgen", "--metrics", "--profile",
+                 "--trace", str(trace),
+                 "--trace-jsonl", str(jsonl),
+                 "--timeline", str(timeline)]) == 0
+    out = capsys.readouterr().out
+    assert "Metrics (pktgen)" in out
+    assert "Engine profile" in out
+    doc = json.loads(trace.read_text())
+    assert doc["traceEvents"]
+    # tracks carry the experiment prefix
+    names = [r["args"]["name"] for r in doc["traceEvents"] if r["ph"] == "M"]
+    assert names and all(n.startswith("pktgen/") for n in names)
+    lines = jsonl.read_text().strip().splitlines()
+    assert lines and json.loads(lines[0])["point"]
+    assert json.loads(timeline.read_text())["format"] == "repro-timeline-v1"
+
+
+def test_metrics_table_identical_serial_vs_parallel(capsys):
+    """The acceptance criterion: merged metrics don't depend on --jobs."""
+
+    def metrics_text(jobs):
+        assert main(["pktgen", "--metrics", "--jobs", jobs]) == 0
+        out = capsys.readouterr().out
+        return out[out.index("Metrics (pktgen)"):]
+
+    assert metrics_text("1") == metrics_text("2")

@@ -61,6 +61,64 @@ class TestMagnet:
         magnet.stop()
         assert magnet.path_histogram() == {}
 
+    def test_clean_path_has_no_requeues_or_unmatched(self):
+        _, conn, magnet, _ = run_traffic(with_magnet=True)
+        prof = magnet.profile("tcp.tx.segment", "tcp.rx.deliver")
+        assert prof.requeued == 0
+        assert prof.unmatched == 0
+
+    def test_profile_counts_requeued_and_unmatched_exactly(self):
+        _, _, magnet, _ = run_traffic(with_magnet=True)
+        host = magnet.hosts[0]
+        magnet.clear()
+        buf = host.trace
+        buf.post(0.0, "src", 1)
+        buf.post(1.0, "src", 2)
+        buf.post(2.0, "src", 1)   # subject 1 re-enters: a retransmission
+        buf.post(5.0, "dst", 1)   # completes against its FIRST entry
+        # subject 2 never reaches dst
+        prof = magnet.profile("src", "dst")
+        assert prof.samples == 1
+        assert prof.requeued == 1
+        assert prof.unmatched == 1
+        assert prof.mean_s == 5.0  # 5.0 - 0.0, not 5.0 - 2.0
+
+    def test_lost_frames_show_up_as_unmatched(self):
+        """A real loss: the dropped original never reaches the delivery
+        point (its retransmission is a fresh frame id), and the profile
+        reports it instead of silently ignoring it."""
+        env = Environment()
+        bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+        conn = TcpConnection(env, bb.a, bb.b)
+        magnet = Magnet(bb.a, bb.b)
+        magnet.start()
+        inner = bb.links[0].sink
+        counter = {"n": 0}
+
+        def dropping_receive(skb):
+            if skb.kind == "data" and not skb.meta.get("retransmit"):
+                counter["n"] += 1
+                if counter["n"] == 20:
+                    return  # one-time drop
+            inner.receive_frame(skb)
+
+        tap = type("Tap", (), {})()
+        tap.receive_frame = dropping_receive
+        bb.links[0].connect(tap)
+
+        def app():
+            yield from conn.send_stream(8948, 96)
+            yield from conn.wait_delivered(8948 * 96)
+
+        env.run(until=env.process(app()))
+        assert conn.sender.retransmitted >= 1
+        assert magnet.path_histogram().get("tcp.tx.retransmit", 0) >= 1
+        # the dropped original entered tcp.tx.segment but its frame id
+        # never reached tcp.rx.deliver (the clone delivered instead)
+        prof = magnet.profile("tcp.tx.segment", "tcp.rx.deliver")
+        assert prof.samples == 95   # 96 sent, one original lost
+        assert prof.unmatched == 1  # ...and accounted for, not dropped
+
 
 class TestTcpdump:
     def test_captures_acks_with_windows(self):
