@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.hw.presets import HostSpec
 from repro.sim.engine import Environment
-from repro.sim.resources import Resource
+from repro.sim.timeline import FifoTimeline
 
 __all__ = ["CpuComplex"]
 
@@ -23,8 +23,8 @@ class CpuComplex:
     def __init__(self, env: Environment, spec: HostSpec, name: str = "cpu"):
         self.env = env
         self.spec = spec
-        self.resource = Resource(env, capacity=spec.parallel_rx_cpus,
-                                 name=name)
+        self.timeline = FifoTimeline(env, capacity=spec.parallel_rx_cpus,
+                                     name=name)
         self._window_start = 0.0
         self._window_busy_base = 0.0
 
@@ -35,30 +35,31 @@ class CpuComplex:
         """
         if cost_s <= 0:
             return
-        req = self.resource.request()
-        yield req
-        yield self.env._fast_timeout(cost_s)
-        self.resource.release(req)
+        _, end = self.timeline.charge(cost_s)
+        yield self.env._fast_timeout(end - self.env._now)
+
+    def charge(self, cost_s: float) -> float:
+        """Commit ``cost_s`` of FIFO CPU time arithmetically; return the
+        absolute completion instant (``now`` for free work).  Used by
+        callback-chained (train-batched) paths instead of :meth:`run`."""
+        if cost_s <= 0:
+            return self.env._now
+        return self.timeline.charge(cost_s)[1]
 
     # -- load reporting ---------------------------------------------------------
     def load(self) -> float:
         """Instantaneous-window load: busy fraction of the processing CPU
         since the last :meth:`reset_load_window` (what sampling
         ``/proc/loadavg`` during a steady run reports)."""
-        res = self.resource
-        busy = res.busy_time
-        if res._busy_since is not None:  # include in-progress holding
-            busy += (self.env.now - res._busy_since) * res.in_use
         span = self.env.now - self._window_start
         if span <= 0:
             return 0.0
-        return (busy - self._window_busy_base) / span
+        load = (self.timeline.busy_elapsed() - self._window_busy_base) / span
+        # busy_elapsed() is a committed-minus-future difference; clamp the
+        # float noise so a saturated window reads exactly capacity.
+        return min(load, float(self.timeline.capacity))
 
     def reset_load_window(self) -> None:
         """Start a fresh load-measurement window at the current time."""
-        res = self.resource
-        busy = res.busy_time
-        if res._busy_since is not None:
-            busy += (self.env.now - res._busy_since) * res.in_use
-        self._window_busy_base = busy
+        self._window_busy_base = self.timeline.busy_elapsed()
         self._window_start = self.env.now

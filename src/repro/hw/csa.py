@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.errors import ConfigError
 from repro.sim.engine import Environment
-from repro.sim.resources import Resource
+from repro.sim.timeline import FifoTimeline
 from repro.sim.trace import TraceBuffer
 from repro.telemetry.session import active_metrics
 from repro.units import Gbps, ns
@@ -48,7 +48,7 @@ class MchLink:
         self.env = env
         self.link_bps = link_bps
         self.overhead_s = overhead_s
-        self.bus = Resource(env, capacity=1, name=name)
+        self.bus = FifoTimeline(env, capacity=1, name=name)
         self.name = name
         self.trace = trace
         self.bytes_moved = 0
@@ -78,13 +78,12 @@ class MchLink:
         """Effective bandwidth for back-to-back transfers."""
         return nbytes * 8.0 / self.transfer_time(nbytes, mmrbc)
 
-    def dma(self, nbytes: int, mmrbc: int = 0):
-        """Process: occupy the hub for one transfer."""
-        hold = self.transfer_time(nbytes, mmrbc)
-        req = self.bus.request()
-        yield req
-        yield self.env._fast_timeout(hold)
-        self.bus.release(req)
+    def charge_transfer(self, nbytes: int, mmrbc: int = 0):
+        """Commit one FIFO hub hold arithmetically; return (start, end)."""
+        return self.bus.charge(self.transfer_time(nbytes, mmrbc))
+
+    def account(self, nbytes: int, mmrbc: int = 0) -> None:
+        """Record a completed transfer (counters + trace)."""
         self.bytes_moved += nbytes
         if self._c_dma is not None:
             self._c_dma.inc()
@@ -93,6 +92,12 @@ class MchLink:
         if trace is not None and trace.enabled:
             trace.post(self.env.now, "mch.dma", None, bus=self.name,
                        nbytes=nbytes)
+
+    def dma(self, nbytes: int, mmrbc: int = 0):
+        """Process: occupy the hub for one transfer."""
+        _, end = self.charge_transfer(nbytes, mmrbc)
+        yield self.env._fast_timeout(end - self.env._now)
+        self.account(nbytes, mmrbc)
 
     def utilization(self) -> float:
         """Busy fraction since t=0."""

@@ -15,11 +15,13 @@ reproduces the externally visible timing:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.errors import LinkError, TopologyError
+from repro.net.train import BacklogView, SegmentTrain, train_batching_enabled
 from repro.oskernel.skbuff import SkBuff
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Event
 from repro.sim.monitor import CounterMonitor
 from repro.sim.resources import Store
 from repro.telemetry.session import active_metrics
@@ -72,24 +74,43 @@ class TenGigAdapter:
             self._c_rxdrop = metrics.counter("nic.rx.drops", nic=self.name)
             self._c_irq = metrics.counter("nic.interrupts", nic=self.name)
             self._c_tso = metrics.counter("nic.tso.splits", nic=self.name)
+            self._c_train = metrics.counter("nic.tx_train_frames",
+                                            nic=self.name)
             self._h_batch = metrics.histogram("irq.batch", nic=self.name)
+            self._h_train = metrics.histogram("nic.train", nic=self.name)
         else:
             self._c_tx = self._c_txdrop = self._c_rx = None
             self._c_rxdrop = self._c_irq = self._c_tso = None
-            self._h_batch = None
-        self.txq = Store(env, capacity=cfg.txqueuelen, name=f"{self.name}.txq")
+            self._c_train = self._h_batch = self._h_train = None
+        self._batched = train_batching_enabled()
+        if self._batched:
+            # Train-batched transmit engine: a plain backlog deque
+            # drained by a callback chain (see _tx_service).
+            self._backlog: Deque[SkBuff] = deque()
+            self._space_waiters: Deque[Tuple[Event, SkBuff]] = deque()
+            self._tx_busy = False
+            self._tx_kick_pending = False
+            self._train: Optional[SegmentTrain] = None
+            self.txq = BacklogView(self._backlog, cfg.txqueuelen)
+        else:
+            self.txq = Store(env, capacity=cfg.txqueuelen,
+                             name=f"{self.name}.txq")
         self.tx_drops = CounterMonitor(env, name=f"{self.name}.txdrop")
         self.rx_drops = CounterMonitor(env, name=f"{self.name}.rxdrop")
         self.tx_frames = CounterMonitor(env, name=f"{self.name}.tx")
         self.rx_frames = CounterMonitor(env, name=f"{self.name}.rx")
         self.interrupts = CounterMonitor(env, name=f"{self.name}.irq")
+        self.tx_trains = CounterMonitor(env, name=f"{self.name}.trains")
+        self.tx_train_frames = CounterMonitor(env,
+                                              name=f"{self.name}.trainfr")
         self._rx_pending: List[SkBuff] = []
         self._irq_timer_armed = False
         from repro.oskernel.interrupts import InterruptModerator
         self.moderator = InterruptModerator(
             base_delay_s=cfg.interrupt_coalescing_us * 1e-6,
             adaptive=cfg.adaptive_coalescing)
-        env.process(self._tx_loop(), name=f"{self.name}.txloop")
+        if not self._batched:
+            env.process(self._tx_loop(), name=f"{self.name}.txloop")
         host.register_adapter(self)
 
     # -- wiring ---------------------------------------------------------------
@@ -122,7 +143,11 @@ class TenGigAdapter:
                 trace.post(self.env.now, "nic.tx.drop", skb.ident,
                            qlen=self.txq.level)
             return False
-        self.txq.put(skb)
+        if self._batched:
+            self._backlog.append(skb)
+            self._tx_kick()
+        else:
+            self.txq.put(skb)
         trace = self.trace
         if trace.enabled:
             trace.post(self.env.now, "nic.tx.queue", skb.ident,
@@ -140,7 +165,104 @@ class TenGigAdapter:
         if trace.enabled:
             trace.post(self.env.now, "nic.tx.queue", skb.ident,
                        kind=skb.kind, qlen=self.txq.level)
-        return self.txq.put(skb)
+        if not self._batched:
+            return self.txq.put(skb)
+        ev = Event(self.env)
+        if len(self._backlog) < self.txq.capacity:
+            self._backlog.append(skb)
+            # Succeed before kicking so the enqueuer wakes ahead of the
+            # engine's first service step, matching the Store's
+            # putter-before-getter settle order.
+            ev.succeed()
+            self._tx_kick()
+        else:
+            self._space_waiters.append((ev, skb))
+        return ev
+
+    # -- transmit engine (train-batched path) ------------------------------------
+    def _tx_kick(self) -> None:
+        """Arrange for the engine to start servicing the backlog.
+
+        The start is deferred one zero-delay event — the same hop the
+        legacy transmit loop's ``Store.get`` wakeup takes — so queue
+        levels and same-instant orderings match the legacy path.
+        """
+        if self._tx_busy or self._tx_kick_pending or not self._backlog:
+            return
+        self._tx_kick_pending = True
+        self.env.schedule_call(0.0, self._tx_begin)
+
+    def _tx_begin(self) -> None:
+        self._tx_kick_pending = False
+        if self._tx_busy or not self._backlog:
+            return
+        self._tx_busy = True
+        self._train = SegmentTrain(self.env._now)
+        self._tx_service()
+
+    def _tx_service(self) -> None:
+        """DMA the backlog head; chain the wire stage off its completion."""
+        skb = self._backlog.popleft()
+        if self._space_waiters:
+            ev, waiting = self._space_waiters.popleft()
+            self._backlog.append(waiting)
+            ev.succeed()
+        env = self.env
+        mmrbc = self.host.config.mmrbc
+        _, end = self.pcix.charge_transfer(skb.frame_bytes, mmrbc)
+        # Replicate the legacy chain's float arithmetic exactly: the DMA
+        # timeout fires at now + (end - now), the traverse timeout at
+        # that instant plus the traverse cost.
+        dma_fire = env._now + (end - env._now)
+        env.schedule_call_at(dma_fire + self.host.costs.nic_traverse_s,
+                             self._tx_dma_done, skb, mmrbc)
+
+    def _tx_dma_done(self, skb: SkBuff, mmrbc: int) -> None:
+        self.pcix.account(skb.frame_bytes, mmrbc)
+        frames = self._wire_frames(skb)
+        trace = self.trace
+        if len(frames) > 1:
+            if self._c_tso is not None:
+                self._c_tso.inc()
+            if trace.enabled:
+                trace.post(self.env.now, "nic.tso.split", skb.ident,
+                           frames=len(frames), payload=skb.payload)
+        for frame in frames:
+            self._egress.transmit(frame)
+            self.tx_frames.add()
+            if self._c_tx is not None:
+                self._c_tx.inc()
+            if trace.enabled:
+                trace.post(self.env.now, "nic.tx.wire", frame.ident,
+                           nbytes=frame.frame_bytes)
+        self._train.add(len(frames))
+        if self._backlog:
+            self._tx_service()
+        else:
+            self._tx_busy = False
+            self._close_train()
+
+    def _close_train(self) -> None:
+        train = self._train
+        self._train = None
+        if train is None or train.frames == 0:
+            return
+        train.close(self.env._now)
+        self.tx_trains.add()
+        self.tx_train_frames.add(train.frames)
+        if self._c_train is not None:
+            self._c_train.inc(train.frames)
+            self._h_train.observe(train.frames)
+        trace = self.trace
+        if trace.enabled:
+            trace.post(self.env.now, "nic.tx.train", None,
+                       frames=train.frames, wire_frames=train.wire_frames)
+
+    def mean_train_size(self) -> float:
+        """Average frames per closed transmit train (0 when none)."""
+        if self.tx_trains.events == 0:
+            return 0.0
+        return self.tx_train_frames.total / self.tx_trains.events
 
     def _tx_loop(self):
         cfg = self.host.config
@@ -204,7 +326,34 @@ class TenGigAdapter:
         if trace.enabled:
             trace.post(self.env.now, "nic.rx.frame", skb.ident,
                        nbytes=skb.frame_bytes)
-        self.env.process(self._rx_dma(skb), name=f"{self.name}.rxdma")
+        if self._batched:
+            # Deferred one zero-delay event (the hop the legacy process
+            # spawn takes) so same-instant DMA charges keep their order.
+            self.env.schedule_call(0.0, self._rx_charge, skb)
+        else:
+            self.env.process(self._rx_dma(skb), name=f"{self.name}.rxdma")
+
+    def _rx_charge(self, skb: SkBuff) -> None:
+        env = self.env
+        mmrbc = self.host.config.mmrbc
+        _, end = self.pcix.charge_transfer(skb.frame_bytes, mmrbc)
+        costs = self.host.costs
+        # Same float chain as the legacy _rx_dma process: DMA fire, then
+        # one timeout of (traverse + pad).
+        dma_fire = env._now + (end - env._now)
+        env.schedule_call_at(
+            dma_fire + (costs.nic_traverse_s + costs.rx_fixed_pad_s),
+            self._rx_posted, skb, mmrbc)
+
+    def _rx_posted(self, skb: SkBuff, mmrbc: int) -> None:
+        self.pcix.account(skb.frame_bytes, mmrbc)
+        trace = self.trace
+        if trace.enabled:
+            trace.post(self.env.now, "nic.rx.dma", skb.ident,
+                       nbytes=skb.frame_bytes)
+        self._rx_pending.append(skb)
+        self.moderator.note_arrival(self.env.now)
+        self._arm_interrupt()
 
     def _rx_dma(self, skb: SkBuff):
         # DMA into host memory, then post toward the interrupt unit.

@@ -21,7 +21,7 @@ from typing import Optional
 from repro.config import VALID_MMRBC
 from repro.errors import ConfigError
 from repro.sim.engine import Environment
-from repro.sim.resources import Resource
+from repro.sim.timeline import FifoTimeline
 from repro.sim.trace import TraceBuffer
 from repro.telemetry.session import active_metrics
 from repro.units import ns
@@ -51,7 +51,7 @@ class PciXBus:
         self.env = env
         self.clock_mhz = clock_mhz
         self.burst_overhead_s = burst_overhead_s
-        self.bus = Resource(env, capacity=1, name=name)
+        self.bus = FifoTimeline(env, capacity=1, name=name)
         self.name = name
         self.trace = trace
         self.bytes_moved = 0
@@ -82,16 +82,19 @@ class PciXBus:
         return nbytes * 8.0 / self.transfer_time(nbytes, mmrbc)
 
     # -- DES protocol ------------------------------------------------------------
-    def dma(self, nbytes: int, mmrbc: int):
-        """Process: occupy the bus for one DMA transfer.
+    def charge_transfer(self, nbytes: int, mmrbc: int):
+        """Commit one FIFO DMA hold arithmetically; return (start, end).
 
-        Usage: ``yield from bus.dma(frame_bytes, config.mmrbc)``.
+        Grant and completion instants equal the event-based FCFS
+        resource's exactly (see :class:`FifoTimeline`); competing
+        transmit and receive DMA charged later but before ``end`` queue
+        behind this one, exactly like bus arbitration.  The caller
+        accounts the transfer via :meth:`account` when it completes.
         """
-        hold = self.transfer_time(nbytes, mmrbc)
-        req = self.bus.request()
-        yield req
-        yield self.env._fast_timeout(hold)
-        self.bus.release(req)
+        return self.bus.charge(self.transfer_time(nbytes, mmrbc))
+
+    def account(self, nbytes: int, mmrbc: int) -> None:
+        """Record a completed transfer (counters + trace)."""
         self.bytes_moved += nbytes
         if self._c_dma is not None:
             self._c_dma.inc()
@@ -100,6 +103,15 @@ class PciXBus:
         if trace is not None and trace.enabled:
             trace.post(self.env.now, "pcix.dma", None, bus=self.name,
                        nbytes=nbytes, bursts=-(-nbytes // mmrbc), mmrbc=mmrbc)
+
+    def dma(self, nbytes: int, mmrbc: int):
+        """Process: occupy the bus for one DMA transfer.
+
+        Usage: ``yield from bus.dma(frame_bytes, config.mmrbc)``.
+        """
+        _, end = self.charge_transfer(nbytes, mmrbc)
+        yield self.env._fast_timeout(end - self.env._now)
+        self.account(nbytes, mmrbc)
 
     def utilization(self) -> float:
         """Busy fraction of the bus since t=0."""

@@ -2,13 +2,14 @@
 
 from repro.net.ethernet import EthernetLink, wire_time
 from repro.net.switch import Switch, SwitchPort, FASTIRON_1500
+from repro.net.train import SegmentTrain, train_batching_enabled
 from repro.net.wanpath import PosCircuit, Router, WanPath
-from repro.net.topology import (
-    BackToBack,
-    ThroughSwitch,
-    MultiFlow,
-    build_wan_path,
-)
+
+# Topology builders are re-exported lazily: topology.py imports the
+# adapter classes from repro.hw, which themselves import repro.net.train,
+# so an eager import here would be circular.
+_TOPOLOGY_EXPORTS = ("BackToBack", "ThroughSwitch", "MultiFlow",
+                     "build_wan_path")
 
 __all__ = [
     "EthernetLink",
@@ -16,6 +17,8 @@ __all__ = [
     "Switch",
     "SwitchPort",
     "FASTIRON_1500",
+    "SegmentTrain",
+    "train_batching_enabled",
     "PosCircuit",
     "Router",
     "WanPath",
@@ -24,3 +27,10 @@ __all__ = [
     "MultiFlow",
     "build_wan_path",
 ]
+
+
+def __getattr__(name):
+    if name in _TOPOLOGY_EXPORTS:
+        from repro.net import topology
+        return getattr(topology, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

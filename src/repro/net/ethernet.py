@@ -11,10 +11,12 @@ from __future__ import annotations
 from typing import Callable, Optional, Protocol
 
 from repro.errors import LinkError
+from repro.net.train import train_batching_enabled
 from repro.oskernel.skbuff import SkBuff
 from repro.sim.engine import Environment
 from repro.sim.monitor import CounterMonitor
 from repro.sim.resources import Resource
+from repro.sim.timeline import FifoTimeline
 from repro.units import Gbps, transfer_time
 
 __all__ = ["EthernetLink", "FrameSink", "wire_time"]
@@ -66,7 +68,9 @@ class EthernetLink:
         self.mtu = mtu
         self.name = name
         self._sink: Optional[FrameSink] = None
+        self._batched = train_batching_enabled()
         self._tx = Resource(env, capacity=1, name=f"{name}.tx")
+        self._txline = FifoTimeline(env, capacity=1, name=f"{name}.txline")
         self.frames = CounterMonitor(env, name=f"{name}.frames")
         self.bytes = CounterMonitor(env, name=f"{name}.bytes")
 
@@ -82,8 +86,32 @@ class EthernetLink:
     def transmit(self, skb: SkBuff) -> None:
         """Begin transmitting ``skb`` (returns immediately; the frame is
         serialized FIFO and delivered after propagation)."""
+        if self._batched:
+            self.charge_frame(skb)
+            return
         self._check(skb)
         self.env.process(self._send(skb), name=f"{self.name}.tx#{skb.ident}")
+
+    def charge_frame(self, skb: SkBuff) -> float:
+        """Train-batched transmit: commit the FIFO serialization hold
+        arithmetically and schedule the delivery; returns the absolute
+        serialization-end instant so queue drains can chain off it.  The
+        frame hits the sink at exactly the same time the event-based
+        path delivers it."""
+        self._check(skb)
+        env = self.env
+        _, end = self._txline.charge(wire_time(skb, self.rate_bps))
+        # ``end`` equals the legacy wire-timeout fire instant bit-exactly
+        # (each hold is one start+hold addition, like the engine's
+        # now+delay); the delivery target replicates its +propagation.
+        env.schedule_call_at(end + self.propagation_s,
+                             self._deliver, skb, end)
+        return end
+
+    def _deliver(self, skb: SkBuff, serialized_at: float) -> None:
+        self.frames.add(time=serialized_at)
+        self.bytes.add(skb.wire_bytes, time=serialized_at)
+        self._sink.receive_frame(skb)
 
     def send(self, skb: SkBuff):
         """Blocking variant: a process generator that completes when the
@@ -114,4 +142,5 @@ class EthernetLink:
 
     def utilization(self) -> float:
         """Busy fraction of the serializer since t=0."""
-        return self._tx.utilization()
+        # Exactly one of the two accountings is in use per mode.
+        return self._tx.utilization() + self._txline.utilization()

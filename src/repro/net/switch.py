@@ -9,11 +9,13 @@ clients aggregate into one 10GbE port.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Deque, Dict, Optional
 
 from repro.errors import LinkError, TopologyError
 from repro.net.ethernet import EthernetLink
+from repro.net.train import BacklogView, train_batching_enabled
 from repro.oskernel.skbuff import SkBuff
 from repro.sim.engine import Environment
 from repro.sim.monitor import CounterMonitor
@@ -63,8 +65,14 @@ class SwitchPort:
         self.switch = switch
         self.port_id = port_id
         self.egress = egress
-        self.queue = Store(env, capacity=queue_frames,
-                           name=f"{switch.name}.{port_id}.q")
+        self._batched = train_batching_enabled()
+        if self._batched:
+            self._backlog: Deque[SkBuff] = deque()
+            self._busy = False
+            self.queue = BacklogView(self._backlog, queue_frames)
+        else:
+            self.queue = Store(env, capacity=queue_frames,
+                               name=f"{switch.name}.{port_id}.q")
         self.drops = CounterMonitor(env, name=f"{switch.name}.{port_id}.drops")
         self.forwarded = CounterMonitor(env, name=f"{switch.name}.{port_id}.fwd")
         self.trace = switch.trace
@@ -75,7 +83,8 @@ class SwitchPort:
             self._c_drop = metrics.counter("switch.drops", **label)
         else:
             self._c_fwd = self._c_drop = None
-        env.process(self._drain(), name=f"{switch.name}.{port_id}.drain")
+        if not self._batched:
+            env.process(self._drain(), name=f"{switch.name}.{port_id}.drain")
 
     def enqueue(self, skb: SkBuff) -> None:
         """Apply the (pipelined) forwarding latency, then queue for
@@ -96,7 +105,35 @@ class SwitchPort:
         if trace.enabled:
             trace.post(self.env.now, "switch.enqueue", skb.ident,
                        port=self.port_id, qlen=self.queue.level)
-        self.queue.put(skb)
+        if not self._batched:
+            self.queue.put(skb)
+            return
+        if self._busy:
+            # Joins the train already draining; counted in the queue
+            # level exactly like a Store item awaiting the drain's get.
+            self._backlog.append(skb)
+        else:
+            # One zero-delay hop: the legacy drain's Store.get wakeup.
+            self._busy = True
+            self.env.schedule_call(0.0, self._service, skb)
+
+    # -- train-batched drain ------------------------------------------------------
+    def _service(self, skb: SkBuff) -> None:
+        end = self.egress.charge_frame(skb)
+        self.env.schedule_call_at(end, self._serialized, skb)
+
+    def _serialized(self, skb: SkBuff) -> None:
+        self.forwarded.add()
+        if self._c_fwd is not None:
+            self._c_fwd.inc()
+        trace = self.trace
+        if trace.enabled:
+            trace.post(self.env.now, "switch.forward", skb.ident,
+                       port=self.port_id)
+        if self._backlog:
+            self._service(self._backlog.popleft())
+        else:
+            self._busy = False
 
     def _drain(self):
         while True:

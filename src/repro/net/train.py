@@ -1,0 +1,109 @@
+"""Segment trains: burst-batched frame handling for the data path.
+
+The paper's whole argument is that per-packet fixed costs dominate
+10GbE hosts, and that the cure is amortization (interrupt coalescing,
+jumbo frames).  The simulator has the same disease: in the legacy path
+every segment of a multi-gigabit flow costs a queue put/get pair, a
+process wakeup, and a request/grant/release cascade per resource it
+crosses.  Train batching applies the same amortization idea to the
+simulator itself:
+
+* the TCP sender stamps each burst of back-to-back segments (one pump
+  wakeup) with a train id, so the burst travels as one logical unit;
+* the NIC transmit engine drains a whole backlog with one callback
+  chain — one scheduled event per frame boundary instead of the
+  put/get/DMA-request/traverse/process cascade — computing every
+  per-frame DMA and wire timestamp arithmetically on
+  :class:`~repro.sim.timeline.FifoTimeline` servers;
+* switch ports and WAN routers forward a queued train the same way,
+  splitting it only where drop-tail (or a fault tap) actually removes a
+  frame.
+
+Batching changes *when Python runs*, never *when things happen*: every
+grant, serialization and delivery instant equals the legacy event
+cascade's, so byte counts, ACK clocking, cwnd evolution and reported
+throughput/latency are bit-identical with batching on or off (the
+property-based tests assert this).  The ``REPRO_TRAIN`` environment
+variable selects the path: unset/``1`` = batched, ``0`` = legacy.
+Components read the knob when they are constructed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Deque, Optional
+
+__all__ = ["BacklogView", "SegmentTrain", "TRAIN_ENV",
+           "train_batching_enabled"]
+
+#: environment variable selecting the batched (default) or legacy path
+TRAIN_ENV = "REPRO_TRAIN"
+
+_OFF_VALUES = ("0", "off", "false", "no")
+
+
+def train_batching_enabled() -> bool:
+    """True when the train-batched data path is selected (the default)."""
+    value = os.environ.get(TRAIN_ENV)
+    if value is None:
+        return True
+    return value.strip().lower() not in _OFF_VALUES
+
+
+class BacklogView:
+    """``level``/``capacity`` façade over a batched engine's backlog.
+
+    The legacy queues are :class:`~repro.sim.resources.Store` objects
+    whose ``level`` excludes the item the drain loop holds in service;
+    batched engines keep that item out of their backlog deque, so
+    ``len(backlog)`` reports the same occupancy.  Netstat-style tools,
+    traces and drop-tail checks read this instead of the Store.
+    """
+
+    __slots__ = ("_backlog", "capacity")
+
+    def __init__(self, backlog: Deque, capacity: int):
+        self._backlog = backlog
+        self.capacity = capacity
+
+    @property
+    def level(self) -> int:
+        return len(self._backlog)
+
+
+class SegmentTrain:
+    """One burst of back-to-back frames handled as a unit.
+
+    The NIC transmit engine opens a train when its backlog goes from
+    empty to busy and closes it when the backlog drains; every frame
+    DMA'd without an intervening idle gap belongs to the same train.
+    The sender cooperates by stamping segments of one pump burst with a
+    shared train id (``skb.meta["train"]``), which keeps train
+    boundaries meaningful even when the NIC interleaves stack-generated
+    frames.
+    """
+
+    __slots__ = ("opened_at", "frames", "wire_frames", "closed_at")
+
+    def __init__(self, opened_at: float):
+        self.opened_at = opened_at
+        self.frames = 0        # skbs handed to the DMA engine
+        self.wire_frames = 0   # frames on the wire (TSO splits included)
+        self.closed_at: Optional[float] = None
+
+    def add(self, wire_frames: int = 1) -> None:
+        """Account one DMA'd skb that produced ``wire_frames`` frames."""
+        self.frames += 1
+        self.wire_frames += wire_frames
+
+    def close(self, at_time: float) -> None:
+        """Mark the train complete (backlog drained)."""
+        self.closed_at = at_time
+
+    def __len__(self) -> int:
+        return self.frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.closed_at is None else "closed"
+        return (f"<SegmentTrain {state} frames={self.frames} "
+                f"wire={self.wire_frames}>")

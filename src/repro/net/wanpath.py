@@ -14,14 +14,17 @@ shorter than real routing).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Deque, List, Optional
 
 from repro.errors import LinkError, TopologyError
 from repro.net.ethernet import FrameSink
+from repro.net.train import BacklogView, train_batching_enabled
 from repro.oskernel.skbuff import SkBuff
 from repro.sim.engine import Environment
 from repro.sim.monitor import CounterMonitor
 from repro.sim.resources import Resource, Store
+from repro.sim.timeline import FifoTimeline
 from repro.sim.trace import TraceBuffer
 from repro.telemetry.session import active_metrics, register_trace
 from repro.units import Gbps, us
@@ -59,7 +62,9 @@ class PosCircuit:
         self.propagation_s = length_km * 1000.0 / 2.0e8
         self.name = name
         self._sink: Optional[FrameSink] = None
+        self._batched = train_batching_enabled()
         self._tx = Resource(env, capacity=1, name=f"{name}.tx")
+        self._txline = FifoTimeline(env, capacity=1, name=f"{name}.txline")
         self.frames = CounterMonitor(env, name=f"{name}.frames")
         self.trace = trace
         metrics = active_metrics()
@@ -78,7 +83,32 @@ class PosCircuit:
         """Serialize FIFO, deliver after propagation (fire-and-forget)."""
         if self._sink is None:
             raise LinkError(f"{self.name}: transmit on unconnected circuit")
+        if self._batched:
+            self.charge_frame(skb)
+            return
         self.env.process(self._send(skb), name=f"{self.name}#{skb.ident}")
+
+    def charge_frame(self, skb: SkBuff) -> float:
+        """Train-batched transmit: commit the FIFO serialization hold
+        arithmetically; returns the serialization-end instant (equal to
+        the legacy wire-timeout fire time bit-exactly)."""
+        if self._sink is None:
+            raise LinkError(f"{self.name}: transmit on unconnected circuit")
+        env = self.env
+        _, end = self._txline.charge(self.serialization_time(skb))
+        env.schedule_call_at(end + self.propagation_s,
+                             self._deliver, skb, end)
+        return end
+
+    def _deliver(self, skb: SkBuff, serialized_at: float) -> None:
+        self.frames.add(time=serialized_at)
+        if self._c_tx is not None:
+            self._c_tx.inc()
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.post(serialized_at, "pos.tx", skb.ident,
+                       circuit=self.name, nbytes=skb.frame_bytes)
+        self._sink.receive_frame(skb)
 
     def send(self, skb: SkBuff):
         """Blocking variant (see :meth:`EthernetLink.send`)."""
@@ -103,7 +133,8 @@ class PosCircuit:
 
     def utilization(self) -> float:
         """Busy fraction of the circuit."""
-        return self._tx.utilization()
+        # Exactly one of the two accountings is in use per mode.
+        return self._tx.utilization() + self._txline.utilization()
 
 
 class Router:
@@ -123,7 +154,13 @@ class Router:
         self.env = env
         self.egress = egress
         self.name = name
-        self.queue = Store(env, capacity=queue_frames, name=f"{name}.q")
+        self._batched = train_batching_enabled()
+        if self._batched:
+            self._backlog: Deque[SkBuff] = deque()
+            self._busy = False
+            self.queue = BacklogView(self._backlog, queue_frames)
+        else:
+            self.queue = Store(env, capacity=queue_frames, name=f"{name}.q")
         self.forwarding_latency_s = forwarding_latency_s
         self.drops = CounterMonitor(env, name=f"{name}.drops")
         self.forwarded = CounterMonitor(env, name=f"{name}.fwd")
@@ -134,7 +171,8 @@ class Router:
             self._c_drop = metrics.counter("wan.drops", router=name)
         else:
             self._c_fwd = self._c_drop = None
-        env.process(self._drain(), name=f"{name}.drain")
+        if not self._batched:
+            env.process(self._drain(), name=f"{name}.drain")
 
     def receive_frame(self, skb: SkBuff) -> None:
         """Lookup/processing latency, then queue or drop.
@@ -157,7 +195,33 @@ class Router:
         if trace is not None and trace.enabled:
             trace.post(self.env.now, "wan.enqueue", skb.ident,
                        router=self.name, qlen=self.queue.level)
-        self.queue.put(skb)
+        if not self._batched:
+            self.queue.put(skb)
+            return
+        if self._busy:
+            self._backlog.append(skb)
+        else:
+            # One zero-delay hop: the legacy drain's Store.get wakeup.
+            self._busy = True
+            self.env.schedule_call(0.0, self._service, skb)
+
+    # -- train-batched drain ------------------------------------------------------
+    def _service(self, skb: SkBuff) -> None:
+        end = self.egress.charge_frame(skb)
+        self.env.schedule_call_at(end, self._serialized, skb)
+
+    def _serialized(self, skb: SkBuff) -> None:
+        self.forwarded.add()
+        if self._c_fwd is not None:
+            self._c_fwd.inc()
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.post(self.env.now, "wan.forward", skb.ident,
+                       router=self.name)
+        if self._backlog:
+            self._service(self._backlog.popleft())
+        else:
+            self._busy = False
 
     def _drain(self):
         while True:

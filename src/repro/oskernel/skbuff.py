@@ -76,28 +76,22 @@ class SkBuff:
             raise ValueError(f"negative payload: {self.payload}")
         if self.headers < 0:
             raise ValueError(f"negative headers: {self.headers}")
-
-    # -- sizes ----------------------------------------------------------------
-    @property
-    def frame_bytes(self) -> int:
-        """Bytes stored in memory / crossing the I/O bus: payload +
-        IP/TCP headers + Ethernet header."""
-        return self.payload + self.headers + ETH_HEADER
-
-    @property
-    def wire_bytes(self) -> int:
-        """Bytes occupying the wire, including preamble and IFG."""
-        return self.frame_bytes + ETH_OVERHEAD_WIRE
-
-    @property
-    def truesize(self) -> int:
-        """Kernel memory charged for this skb: the power-of-two data
-        block (the 2.4-era ``struct sk_buff`` itself lives in a separate
-        slab and is counted via :data:`SKB_OVERHEAD` where relevant).
-
-        This is the quantity that makes an 8160-byte MTU fit an 8192-byte
-        block while 9000 bytes needs 16384 (paper §3.3)."""
-        return block_size_for(self.frame_bytes)
+        # Sizes are pure functions of the immutable payload/headers pair
+        # and are read on every hop of the data path, so they are
+        # precomputed here instead of recomputed behind properties.
+        #
+        # frame_bytes: bytes stored in memory / crossing the I/O bus
+        #   (payload + IP/TCP headers + Ethernet header).
+        # wire_bytes: bytes occupying the wire, incl. preamble and IFG.
+        # truesize: kernel memory charged for this skb — the
+        #   power-of-two data block (the 2.4-era ``struct sk_buff``
+        #   itself lives in a separate slab, counted via
+        #   :data:`SKB_OVERHEAD` where relevant).  This is the quantity
+        #   that makes an 8160-byte MTU fit an 8192-byte block while
+        #   9000 bytes needs 16384 (paper §3.3).
+        self.frame_bytes = self.payload + self.headers + ETH_HEADER
+        self.wire_bytes = self.frame_bytes + ETH_OVERHEAD_WIRE
+        self.truesize = block_size_for(self.frame_bytes)
 
     def copy_for_retransmit(self) -> "SkBuff":
         """A fresh descriptor with the same TCP identity (new frame id)."""

@@ -98,9 +98,11 @@ class CounterMonitor:
         self.first_time: Optional[float] = None
         self.last_time: Optional[float] = None
 
-    def add(self, amount: float = 1.0) -> None:
-        """Accumulate ``amount`` at the current time."""
-        now = self.env.now
+    def add(self, amount: float = 1.0, time: Optional[float] = None) -> None:
+        """Accumulate ``amount`` at the current time (or an explicit
+        ``time`` — batched data paths stamp the instant the modelled
+        action completed, which may precede the callback running)."""
+        now = self.env.now if time is None else time
         if self.first_time is None:
             self.first_time = now
         self.last_time = now

@@ -9,9 +9,11 @@ arrivals, and window-update ACKs when the reader drains enough space.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.errors import ProtocolError
+from repro.net.train import train_batching_enabled
 from repro.oskernel.skbuff import SkBuff, ip_tcp_header_bytes
 from repro.sim.engine import Environment
 from repro.sim.resources import Store
@@ -45,8 +47,13 @@ class TcpReceiver:
             window_scaling=host.config.window_scaling)
         self.rcv_nxt = 0
         self._ooo: Dict[int, SkBuff] = {}
-        self._rxq = Store(env, name=f"{host.name}.tcp.rxq")
-        env.process(self._rx_loop(), name=f"{host.name}.tcp.rxloop")
+        self._batched = train_batching_enabled()
+        if self._batched:
+            self._rx_backlog: Deque[Tuple[SkBuff, int]] = deque()
+            self._rx_busy = False
+        else:
+            self._rxq = Store(env, name=f"{host.name}.tcp.rxq")
+            env.process(self._rx_loop(), name=f"{host.name}.tcp.rxloop")
         self._unacked_segments = 0
         self._delack_generation = 0
         self._delack_armed = False
@@ -84,12 +91,96 @@ class TcpReceiver:
         Segments enter a per-connection queue drained by one processing
         loop — in-order TCP processing even on hosts whose CPU complex
         services several flows in parallel (Itanium-II)."""
-        self._rxq.put((skb, batch))
+        if not self._batched:
+            self._rxq.put((skb, batch))
+            return
+        if self._rx_busy:
+            self._rx_backlog.append((skb, batch))
+        else:
+            # One zero-delay hop: the legacy loop's Store.get wakeup.
+            self._rx_busy = True
+            self.env.schedule_call(0.0, self._rx_begin, skb, batch)
 
     def _rx_loop(self):
         while True:
             skb, batch = yield self._rxq.get()
             yield from self._process_data(skb, batch)
+
+    # -- train-batched processing chain -------------------------------------------
+    def _rx_begin(self, skb: SkBuff, batch: int) -> None:
+        host = self.host
+        env = self.env
+        end = host.cpu.charge(host.costs.rx_segment_s(skb.payload, batch))
+        if end <= env._now:
+            self._rx_process(skb, batch)
+        else:
+            env.schedule_call(end - env._now, self._rx_process, skb, batch)
+
+    def _rx_done(self) -> None:
+        if self._rx_backlog:
+            skb, batch = self._rx_backlog.popleft()
+            # The legacy loop re-arms Store.get here: one zero-delay hop
+            # per segment even when the queue is non-empty.
+            self.env.schedule_call(0.0, self._rx_begin, skb, batch)
+        else:
+            self._rx_busy = False
+
+    def _rx_process(self, skb: SkBuff, batch: int) -> None:
+        """Post-CPU segment processing (batched twin of
+        :meth:`_process_data` after its ``cpu_work``)."""
+        host = self.host
+        self.segments_received += 1
+        if self._c_seg is not None:
+            self._c_seg.inc()
+        if self.first_data_time is None:
+            self.first_data_time = self.env.now
+        trace = host.trace
+        out_of_order = False
+        if skb.end_seq <= self.rcv_nxt:
+            # pure duplicate (a spurious retransmission): drop, re-ack
+            self.duplicates += 1
+            if self._c_dup is not None:
+                self._c_dup.inc()
+            if trace.enabled:
+                trace.post(self.env.now, "tcp.rx.dup", skb.ident,
+                           seq=skb.seq, conn=self._conn_label)
+            self._ack_begin(self._rx_done)
+            return
+        charged = host.costs.rx_truesize(skb)
+        skb.meta["charged"] = charged
+        if skb.seq == self.rcv_nxt:
+            self.window.charge(charged)
+            self._note_rmem(trace, skb, charged)
+            self._schedule_drain(skb)
+            self._advance(skb)
+        elif skb.seq > self.rcv_nxt:
+            if skb.seq not in self._ooo:
+                self.window.charge(charged)
+                self._note_rmem(trace, skb, charged)
+                self._ooo[skb.seq] = skb
+            if self._c_ooo is not None:
+                self._c_ooo.inc()
+            if trace.enabled:
+                trace.post(self.env.now, "tcp.rx.ooo", skb.ident,
+                           seq=skb.seq, expected=self.rcv_nxt,
+                           conn=self._conn_label)
+            out_of_order = True
+        else:
+            # partial overlap: treat as duplicate of the old part
+            self.duplicates += 1
+            if self._c_dup is not None:
+                self._c_dup.inc()
+            if trace.enabled:
+                trace.post(self.env.now, "tcp.rx.dup", skb.ident,
+                           seq=skb.seq, conn=self._conn_label)
+            out_of_order = True
+        self._unacked_segments += 1
+        quickack = self.window.current < 4 * self.align_mss
+        if out_of_order or quickack or self._unacked_segments >= 2:
+            self._ack_begin(self._rx_done)
+        else:
+            self._arm_delack()
+            self._rx_done()
 
     def _process_data(self, skb: SkBuff, batch: int):
         host = self.host
@@ -172,7 +263,38 @@ class TcpReceiver:
                                self._start_drain, skb)
 
     def _start_drain(self, skb: SkBuff) -> None:
+        if self._batched:
+            # One zero-delay hop (the legacy process-spawn init event).
+            self.env.schedule_call(0.0, self._drain_charge, skb)
+            return
         self.env.process(self._drain(skb), name=f"{self.host.name}.tcp.drain")
+
+    def _drain_charge(self, skb: SkBuff) -> None:
+        host = self.host
+        env = self.env
+        end = host.cpu.charge(host.costs.rx_wake_s())
+        if end <= env._now:
+            self._drain_done(skb)
+        else:
+            env.schedule_call(end - env._now, self._drain_done, skb)
+
+    def _drain_done(self, skb: SkBuff) -> None:
+        host = self.host
+        self.window.uncharge(skb.meta.get("charged", skb.truesize))
+        self.bytes_delivered += skb.payload
+        if self._c_bytes is not None:
+            self._c_bytes.inc(skb.payload)
+        self.last_delivery_time = self.env.now
+        trace = host.trace
+        if trace.enabled:
+            trace.post(self.env.now, "tcp.rx.deliver", skb.ident,
+                       seq=skb.seq, len=skb.payload,
+                       nbytes=skb.payload, conn=self._conn_label)
+            trace.post(self.env.now, "copy.rx", skb.ident,
+                       nbytes=skb.payload)
+        if self.window.would_update(2):
+            self.window_updates += 1
+            self._ack_begin(None)
 
     def _drain(self, skb: SkBuff):
         host = self.host
@@ -210,6 +332,42 @@ class TcpReceiver:
             else:
                 blocks.append([start, end])
         return [tuple(b) for b in blocks[-limit:]]
+
+    def _ack_begin(self, then: Optional[Callable[[], None]]) -> None:
+        """Batched twin of :meth:`_send_ack`: state resets at call time,
+        the ACK itself is emitted when the generation CPU charge
+        completes, then ``then()`` continues the caller's chain."""
+        host = self.host
+        self._unacked_segments = 0
+        self._delack_generation += 1
+        self._delack_armed = False
+        env = self.env
+        end = host.cpu.charge(host.costs.rx_ack_gen_s())
+        if end <= env._now:
+            self._ack_emit(then)
+        else:
+            env.schedule_call(end - env._now, self._ack_emit, then)
+
+    def _ack_emit(self, then: Optional[Callable[[], None]]) -> None:
+        host = self.host
+        win = self.window.advertise()
+        meta = {"dst": self.src_address, "win": win}
+        if host.config.sack and self._ooo:
+            meta["sack"] = self._sack_blocks()
+        ack = SkBuff(payload=0,
+                     headers=ip_tcp_header_bytes(host.config.tcp_timestamps),
+                     kind="ack", ack=self.rcv_nxt, conn=self.conn,
+                     meta=meta)
+        self.acks_sent += 1
+        if self._c_ack is not None:
+            self._c_ack.inc()
+        self.nic.send(ack)
+        trace = host.trace
+        if trace.enabled:
+            trace.post(self.env.now, "tcp.rx.ack", ack.ident,
+                       ack=self.rcv_nxt, win=win, conn=self._conn_label)
+        if then is not None:
+            then()
 
     def _send_ack(self):
         host = self.host
@@ -253,8 +411,13 @@ class TcpReceiver:
                 trace.post(self.env.now, "tcp.delack.fire",
                            self._conn_label,
                            unacked=self._unacked_segments)
-            self.env.process(self._send_ack(),
-                             name=f"{self.host.name}.tcp.delack")
+            if self._batched:
+                # One zero-delay hop (the legacy process-spawn init
+                # event) before the ACK chain's state resets.
+                self.env.schedule_call(0.0, self._ack_begin, None)
+            else:
+                self.env.process(self._send_ack(),
+                                 name=f"{self.host.name}.tcp.delack")
 
     # -- reporting -------------------------------------------------------------
     def goodput_bps(self) -> float:

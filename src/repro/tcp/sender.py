@@ -13,6 +13,7 @@ from collections import OrderedDict, deque
 from typing import Deque, Optional
 
 from repro.errors import ProtocolError
+from repro.net.train import train_batching_enabled
 from repro.oskernel.skbuff import SkBuff
 from repro.sim.engine import Environment, Event
 from repro.tcp.congestion import RenoCongestion
@@ -61,13 +62,16 @@ class TcpSender:
         self.wmem_used = 0
         self._writer_waits: Deque[Event] = deque()
         self._pump_wait: Optional[Event] = None
+        self._batched = train_batching_enabled()
+        self._train_seq = 0       # id of the current back-to-back burst
         self.recover_point = 0  # NewReno: highest seq sent when loss seen
         # RTT estimation / RTO
         self.srtt_s: Optional[float] = None
         self.rttvar_s = 0.0
         self.rto_s = MIN_RTO_S * 5
-        self._rto_generation = 0
         self._rto_armed = False
+        self._rto_deadline = 0.0
+        self._rto_timer_at: Optional[float] = None
         # statistics
         self.segments_sent = 0
         self.retransmitted = 0
@@ -168,11 +172,16 @@ class TcpSender:
         env = self.env
         costs = self.host.costs
         while True:
-            while not self._can_send():
-                ev = env.event()
-                self._pump_wait = ev
-                yield ev
+            if not self._can_send():
+                while not self._can_send():
+                    ev = env.event()
+                    self._pump_wait = ev
+                    yield ev
+                # Every blocked->sending transition opens a new burst;
+                # segments pumped back-to-back share the train id.
+                self._train_seq += 1
             skb = self.sendq.popleft()
+            skb.meta["train"] = self._train_seq
             self.inflight[skb.seq] = skb
             self.snd_nxt = max(self.snd_nxt, skb.end_seq)
             yield from self.host.cpu_work(costs.tx_segment_s(skb.payload))
@@ -213,11 +222,27 @@ class TcpSender:
     # -- ACK path ---------------------------------------------------------------
     def on_ack_frame(self, skb: SkBuff, batch: int = 1) -> None:
         """An ACK arrived at this host (called from interrupt dispatch)."""
+        if self._batched:
+            # One zero-delay hop (the legacy process-spawn init event),
+            # then an arithmetic CPU charge chained into the ACK logic.
+            self.env.schedule_call(0.0, self._ack_charge, skb)
+            return
         self.env.process(self._process_ack(skb),
                          name=f"{self.host.name}.tcp.ack")
 
     def _process_ack(self, skb: SkBuff):
         yield from self.host.cpu_work(self.host.costs.tx_ack_rx_s())
+        self._ack_done(skb)
+
+    def _ack_charge(self, skb: SkBuff) -> None:
+        env = self.env
+        end = self.host.cpu.charge(self.host.costs.tx_ack_rx_s())
+        if end <= env._now:
+            self._ack_done(skb)
+        else:
+            env.schedule_call(end - env._now, self._ack_done, skb)
+
+    def _ack_done(self, skb: SkBuff) -> None:
         self.acks_received += 1
         new_window = skb.meta.get("win", self.rwnd_bytes)
         window_changed = new_window != self.rwnd_bytes
@@ -267,7 +292,6 @@ class TcpSender:
             self.wmem_used -= freed
             while self._writer_waits:
                 self._writer_waits.popleft().succeed()
-        self._rto_generation += 1
         if self.inflight or self.sendq:
             self._arm_rto(force=True)
         else:
@@ -324,12 +348,29 @@ class TcpSender:
         if self._rto_armed and not force:
             return
         self._rto_armed = True
-        self._rto_generation += 1
-        generation = self._rto_generation
-        self.env.schedule_call(self.rto_s, self._on_rto, generation)
+        self._rto_deadline = self.env._now + self.rto_s
+        self._ensure_rto_timer()
 
-    def _on_rto(self, generation: int) -> None:
-        if generation != self._rto_generation or self.closed:
+    def _ensure_rto_timer(self) -> None:
+        # Lazy timer: re-arming on every ACK only moves ``_rto_deadline``
+        # forward; one outstanding event at or before the deadline
+        # relays itself there instead of pushing a fresh 200 ms-out
+        # event per ACK that a busy flow would immediately orphan.
+        if (self._rto_timer_at is not None
+                and self._rto_timer_at <= self._rto_deadline):
+            return
+        self._rto_timer_at = self._rto_deadline
+        self.env.schedule_call_at(self._rto_deadline, self._on_rto_timer,
+                                  self._rto_deadline)
+
+    def _on_rto_timer(self, timer_at: float) -> None:
+        if timer_at == self._rto_timer_at:
+            self._rto_timer_at = None
+        if not self._rto_armed or self.closed:
+            return
+        if self.env._now < self._rto_deadline:
+            # stale early timer: relay to the live deadline
+            self._ensure_rto_timer()
             return
         if not self.inflight:
             self._rto_armed = False

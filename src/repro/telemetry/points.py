@@ -40,6 +40,15 @@ _POINTS: Tuple[Tuple[str, str, str], ...] = (
     ("nic.tx.wire", "hw", "Frame serialized onto the wire"),
     ("nic.tso.split", "hw",
      "TSO engine split an oversized send into wire-MTU frames"),
+    ("nic.tx.train", "hw",
+     "Transmit engine closed a segment train (frames DMA'd back-to-back "
+     "as one burst; wire_frames counts TSO splits)"),
+    ("nic.tx_train_frames", "hw",
+     "Counter point: frames carried by closed transmit trains"),
+    # -- simulation engine ----------------------------------------------------
+    ("engine.calendar_resizes", "sim",
+     "Counter point: calendar-queue bucket-width rebuilds in the event "
+     "scheduler"),
     # -- hardware: NIC rx + interrupts ---------------------------------------
     ("nic.rx.frame", "hw", "Frame arrived from the wire into the rx ring"),
     ("nic.rx.drop", "hw", "Frame dropped at the full rx descriptor ring"),

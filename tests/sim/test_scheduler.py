@@ -1,0 +1,128 @@
+"""Event-queue backend tests: calendar queue, knob, and mid-run swaps."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.engine import SCHEDULER_ENV, CalendarQueue, SimulationError
+
+
+class TestBackendSelection:
+    def test_default_is_heap(self, monkeypatch):
+        monkeypatch.delenv(SCHEDULER_ENV, raising=False)
+        assert Environment().scheduler == "heap"
+
+    def test_constructor_selects_calendar(self):
+        assert Environment(scheduler="calendar").scheduler == "calendar"
+
+    def test_env_var_selects_calendar(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "calendar")
+        assert Environment().scheduler == "calendar"
+
+    def test_constructor_overrides_env_var(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "calendar")
+        assert Environment(scheduler="heap").scheduler == "heap"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment(scheduler="splay-tree")
+
+
+class TestCalendarBasics:
+    def test_drains_in_time_order(self):
+        env = Environment(scheduler="calendar")
+        fired = []
+        delays = [5e-6, 1e-6, 3e-3, 0.0, 2e-6, 1e-6]
+        for i, d in enumerate(delays):
+            env.schedule_call(d, fired.append, (d, i))
+        env.run()
+        assert fired == sorted(fired)
+        assert env.now == max(delays)
+
+    def test_pending_count_tracks_queue(self):
+        env = Environment(scheduler="calendar")
+        for i in range(10):
+            env.schedule_call(i * 1e-6, lambda: None)
+        assert env.pending_count() == 10
+        env.run()
+        assert env.pending_count() == 0
+
+    def test_resize_counter_on_dense_buckets(self):
+        # 20k timers at 40ns spacing load ~250 events into each 10us
+        # bucket — far past the occupancy band — across enough buckets
+        # for the periodic occupancy check to run, so the width
+        # heuristic must fire at least once.
+        env = Environment(scheduler="calendar")
+        for i in range(20_000):
+            env.schedule_call(i * 4e-8, lambda: None)
+        env.run()
+        assert env.calendar_resizes >= 1
+
+    def test_run_until_event_and_horizon(self):
+        env = Environment(scheduler="calendar")
+        fired = []
+        env.schedule_call(1.0, fired.append, "late")
+        env.schedule_call(0.25, fired.append, "early")
+        env.run(until=0.5)
+        assert fired == ["early"] and env.now == 0.5
+        env.run()
+        assert fired == ["early", "late"]
+
+
+class TestMidRunSwap:
+    @pytest.mark.parametrize("start,target",
+                             [("heap", "calendar"), ("calendar", "heap")])
+    def test_swap_does_not_redeliver_processed_events(self, start, target):
+        """run(until=t) -> swap -> run() must fire every event exactly
+        once: already-processed events must not migrate into the new
+        backend, pending ones must all survive."""
+        env = Environment(scheduler=start)
+        fired = []
+        times = [i * 0.1 for i in range(20)]
+        for i, t in enumerate(times):
+            env.schedule_call(t, fired.append, (t, i))
+        env.run(until=0.95)  # processes the first 10, leaves 10 pending
+        assert len(fired) == 10
+        env.swap_scheduler(target)
+        assert env.scheduler == target
+        env.run(until=5.0)
+        assert len(fired) == 20
+        assert fired == [(t, i) for i, t in enumerate(times)]
+
+    def test_swap_preserves_same_time_fifo(self):
+        env = Environment(scheduler="heap")
+        fired = []
+        for i in range(12):
+            env.schedule_call(1.0, fired.append, i)  # all same instant
+        env.schedule_call(0.5, env.swap_scheduler, "calendar")
+        env.run()
+        assert fired == list(range(12))
+
+    def test_swap_is_noop_for_same_backend(self):
+        env = Environment(scheduler="heap")
+        env.schedule_call(1.0, lambda: None)
+        env.swap_scheduler("heap")
+        assert env.scheduler == "heap" and env.pending_count() == 1
+
+    def test_swap_rejects_unknown_backend(self):
+        with pytest.raises(SimulationError):
+            Environment().swap_scheduler("btree")
+
+    def test_calendar_resizes_survive_swap_to_heap(self):
+        env = Environment(scheduler="calendar")
+        for i in range(10_000):
+            env.schedule_call(i * 1e-9, lambda: None)
+        env.run()
+        resizes = env.calendar_resizes
+        env.swap_scheduler("heap")
+        assert env.calendar_resizes == resizes
+
+
+class TestFallback:
+    def test_exhausted_resize_budget_requests_fallback(self):
+        q = CalendarQueue()
+        q.resizes = CalendarQueue.MAX_RESIZES
+        q._loads = CalendarQueue.CHECK_EVERY
+        q._loaded = (CalendarQueue.CHECK_EVERY * CalendarQueue.TARGET_OCCUPANCY
+                     * int(CalendarQueue.HIGH_FACTOR) * 2)
+        q._maybe_resize()
+        assert q.fallback_requested

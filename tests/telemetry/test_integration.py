@@ -13,6 +13,7 @@ from collections import Counter as TallyCounter
 
 from repro.config import TuningConfig
 from repro.net.topology import BackToBack, ThroughSwitch, build_wan_path
+from repro.net.train import train_batching_enabled
 from repro.sim import Environment
 from repro.sim.runner import SweepRunner
 from repro.tcp.connection import TcpConnection
@@ -142,6 +143,43 @@ class TestEngineProfiling:
     def test_disabled_profiling_attaches_nothing(self):
         env = Environment()
         assert env._profiler is None
+
+
+class TestPerfCounterPoints:
+    """The PR-3 performance counters publish through the session."""
+
+    def test_tx_train_frames_counter_matches_nic(self):
+        with telemetry_session(metrics=True) as session:
+            env = Environment()
+            bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+            conn = TcpConnection(env, bb.a, bb.b)
+            _stream(env, conn, 8948, 64)
+        nic = bb.a.adapters[0]
+        counter = session.registry.counter("nic.tx_train_frames",
+                                           nic=nic.name)
+        assert counter.value == nic.tx_train_frames.total
+        if train_batching_enabled():
+            # every data frame rode a train, and bursts formed
+            assert counter.value >= 64
+            assert nic.mean_train_size() > 1.0
+
+    def test_calendar_resizes_counter_published(self):
+        with telemetry_session(metrics=True) as session:
+            env = Environment(scheduler="calendar")
+            # ~250 events per 10us bucket forces width rebuilds
+            for i in range(20_000):
+                env.schedule_call(i * 4e-8, lambda: None)
+            env.run()
+        assert env.calendar_resizes >= 1
+        counter = session.registry.counter("engine.calendar_resizes")
+        assert counter.value == env.calendar_resizes
+
+    def test_counters_silent_without_session(self):
+        env = Environment(scheduler="calendar")
+        for i in range(20_000):
+            env.schedule_call(i * 4e-8, lambda: None)
+        env.run()  # no registry attached: resizes still tracked locally
+        assert env.calendar_resizes >= 1
 
 
 def _sweep_point(task):
