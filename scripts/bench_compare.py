@@ -16,6 +16,12 @@ hot path.  The run fails when the disabled-tracing path is more than
 the "negligible effect" property the paper claims for MAGNET, kept
 honest by CI.
 
+The same discipline covers the chaos engine: a run with no fault plan
+loaded must cost within ``--chaos-threshold`` (default 2%) of a run
+with every chaos hook bypassed, measured on the reference nttcp
+transfer and recorded into the archived JSON (under
+``repro_metrics.chaos_overhead``).
+
 Beyond the pytest-benchmark suite the script also records simulator
 metrics into the archived JSON (under ``repro_metrics``):
 
@@ -356,6 +362,80 @@ def measure_trace_overhead(repeats: int = 5,
     return best
 
 
+def measure_chaos_overhead(repeats: int = 5,
+                           count: int = 256) -> Dict[str, float]:
+    """Time a reference transfer with the chaos hooks bypassed vs idle.
+
+    The chaos engine's contract is that a run with **no plan loaded**
+    pays only ambient hook checks (one per component construction plus
+    one per cache key).  Three variants, best-of-``repeats``,
+    interleaved, each timing topology construction + a full nttcp
+    transfer:
+
+    - ``baseline``   — every chaos hook short-circuited (the bypass
+      switch: as close to compiled-out as a live process gets),
+    - ``disabled``   — the normal no-plan path every default run pays,
+    - ``empty_plan`` — an activated but empty ``FaultPlan`` (must be
+      byte-identical in behaviour, and near-identical in cost).
+    """
+    sys.path.insert(0, str(ROOT / "src"))
+    from time import perf_counter
+
+    from repro.chaos import FaultPlan, chaos_session, hooks
+    from repro.config import TuningConfig
+    from repro.net.topology import BackToBack
+    from repro.sim.engine import Environment
+    from repro.tcp.connection import TcpConnection
+    from repro.tools.nttcp import nttcp_run
+
+    def timed_transfer() -> float:
+        start = perf_counter()
+        env = Environment()
+        bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+        conn = TcpConnection(env, bb.a, bb.b)
+        nttcp_run(env, conn, payload=8948, count=count)
+        return perf_counter() - start
+
+    def run_variant(variant: str) -> float:
+        if variant == "baseline":
+            hooks._BYPASS = True
+            try:
+                return timed_transfer()
+            finally:
+                hooks._BYPASS = False
+        if variant == "empty_plan":
+            with chaos_session(FaultPlan()):
+                return timed_transfer()
+        return timed_transfer()
+
+    variants = ("baseline", "disabled", "empty_plan")
+    best = {v: float("inf") for v in variants}
+    for _ in range(repeats):
+        for v in variants:  # interleave so drift hits all variants alike
+            best[v] = min(best[v], run_variant(v))
+    return best
+
+
+def check_chaos_overhead(threshold: float, repeats: int) -> tuple:
+    """Gate the idle chaos hooks; returns ``(ok, times)``."""
+    print(f"\nchaos-overhead bench (best of {repeats}):")
+    times = measure_chaos_overhead(repeats=repeats)
+    base = times["baseline"]
+    for variant in ("baseline", "disabled", "empty_plan"):
+        t = times[variant]
+        rel = "" if variant == "baseline" else f"  {t / base - 1.0:+7.1%}"
+        print(f"  {variant:<10}  {t:>10.6f} s{rel}")
+    overhead = times["disabled"] / base - 1.0
+    times["disabled_overhead"] = overhead
+    if overhead > threshold:
+        print(f"\nFAIL: idle chaos-hook overhead {overhead:+.1%} exceeds "
+              f"{threshold:.0%} — no-plan runs are no longer near-free.")
+        return False, times
+    print(f"OK: idle chaos-hook overhead {overhead:+.1%} is within "
+          f"{threshold:.0%}.")
+    return True, times
+
+
 def check_trace_overhead(threshold: float, repeats: int) -> bool:
     """Run the overhead bench and report; True when within threshold."""
     print(f"\ntracing-overhead bench (best of {repeats}):")
@@ -404,6 +484,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run only the tracing-overhead bench")
     parser.add_argument("--skip-trace-overhead", action="store_true",
                         help="skip the tracing-overhead bench")
+    parser.add_argument("--chaos-threshold", type=float, default=0.02,
+                        help="maximum tolerated slowdown of the reference "
+                             "transfer from idle (no-plan) chaos hooks "
+                             "(default 0.02 = 2%%)")
+    parser.add_argument("--chaos-repeats", type=int, default=5,
+                        help="repeats for the chaos-overhead bench "
+                             "(best-of; default 5)")
+    parser.add_argument("--chaos-overhead-only", action="store_true",
+                        help="run only the chaos-overhead bench")
+    parser.add_argument("--skip-chaos-overhead", action="store_true",
+                        help="skip the chaos-overhead bench")
     parser.add_argument("--scheduler-threshold", type=float, default=0.15,
                         help="minimum calendar-vs-heap advantage on the "
                              "deep-queue microbench (default 0.15 = 15%%)")
@@ -420,6 +511,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.trace_overhead_only:
         ok = check_trace_overhead(args.trace_threshold, args.trace_repeats)
+        return 0 if ok else 1
+    if args.chaos_overhead_only:
+        ok, _ = check_chaos_overhead(args.chaos_threshold, args.chaos_repeats)
         return 0 if ok else 1
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -469,6 +563,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         sched_ok, sched_times = check_scheduler_microbench(
             args.scheduler_threshold, args.scheduler_repeats)
         extra["scheduler_microbench"] = sched_times
+    chaos_ok = True
+    if not args.skip_chaos_overhead:
+        chaos_ok, chaos_times = check_chaos_overhead(
+            args.chaos_threshold, args.chaos_repeats)
+        extra["chaos_overhead"] = chaos_times
     if args.figure_sweep:
         sweep = measure_figure_sweep()
         extra["figure_sweep"] = sweep
@@ -488,7 +587,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             record_extra_metrics(out_path, extra)
             return 1
     record_extra_metrics(out_path, extra)
-    if not sched_ok:
+    if not sched_ok or not chaos_ok:
         return 1
     if not args.skip_trace_overhead:
         if not check_trace_overhead(args.trace_threshold, args.trace_repeats):

@@ -24,7 +24,7 @@ import sys
 from typing import List, Optional
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
-TARGETS = ["src", "tests", "benchmarks", "scripts"]
+TARGETS = ["src", "tests", "benchmarks", "scripts", "examples"]
 
 
 def run_ruff(ruff: str) -> int:

@@ -16,6 +16,11 @@ Independent simulation points fan out over ``--jobs`` worker processes
 way), and completed work is memoized under ``.repro-cache/`` so warm
 reruns are near-instant (``--no-cache`` forces recomputation).
 
+Chaos (see docs/RESILIENCE.md): ``--chaos PLAN.json`` (or the
+``REPRO_CHAOS`` environment variable) arms a declarative fault plan for
+every experiment in the invocation; cache keys automatically include the
+plan fingerprint, so chaotic results never alias clean ones.
+
 Telemetry (see docs/OBSERVABILITY.md): ``--metrics`` appends the merged
 metrics table to each report (identical at any ``--jobs``), ``--trace``
 writes a Perfetto-loadable Chrome trace, ``--trace-jsonl`` a raw event
@@ -58,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_JOBS or serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
+    parser.add_argument("--chaos", type=pathlib.Path, default=None,
+                        metavar="PLAN.json",
+                        help="arm a declarative fault plan (JSON; see "
+                             "docs/RESILIENCE.md) for every experiment")
     parser.add_argument("--metrics", action="store_true",
                         help="append the merged metrics table to each "
                              "report")
@@ -120,7 +129,25 @@ def main(argv: List[str] = None) -> int:
     want_events = (args.trace is not None or args.trace_jsonl is not None
                    or args.timeline is not None)
     telemetry_on = want_events or args.metrics or args.profile
+    if args.chaos is not None:
+        from repro.chaos import FaultPlan, chaos_session
+        try:
+            plan = FaultPlan.load(args.chaos)
+        except Exception as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        chaos_cm = chaos_session(plan)
+    else:
+        import contextlib
+        chaos_cm = contextlib.nullcontext()
     all_events = []
+    with chaos_cm:
+        return _run_experiments(args, names, telemetry_on, want_events,
+                                all_events)
+
+
+def _run_experiments(args, names, telemetry_on, want_events,
+                     all_events) -> int:
     for name in names:
         start = time.time()
         if telemetry_on:

@@ -20,6 +20,7 @@ __all__ = [
     "ProtocolError",
     "LinkError",
     "MeasurementError",
+    "ChaosError",
 ]
 
 
@@ -65,3 +66,7 @@ class LinkError(ReproError):
 
 class MeasurementError(ReproError):
     """A measurement tool was used incorrectly or produced no samples."""
+
+
+class ChaosError(ReproError):
+    """Invalid fault plan or misuse of the chaos-injection subsystem."""

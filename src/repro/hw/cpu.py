@@ -10,6 +10,7 @@ and the second socket only shows up in load reporting.
 
 from __future__ import annotations
 
+from repro.chaos.hooks import register_target as register_chaos_target
 from repro.hw.presets import HostSpec
 from repro.sim.engine import Environment
 from repro.sim.timeline import FifoTimeline
@@ -27,6 +28,7 @@ class CpuComplex:
                                      name=name)
         self._window_start = 0.0
         self._window_busy_base = 0.0
+        register_chaos_target("cpu", name, self)
 
     def run(self, cost_s: float):
         """Process: occupy the CPU for ``cost_s`` seconds.

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.chaos.hooks import register_target as register_chaos_target
 from repro.errors import LinkError, TopologyError
 from repro.net.train import BacklogView, SegmentTrain, train_batching_enabled
 from repro.oskernel.skbuff import SkBuff
@@ -111,6 +112,7 @@ class TenGigAdapter:
             adaptive=cfg.adaptive_coalescing)
         if not self._batched:
             env.process(self._tx_loop(), name=f"{self.name}.txloop")
+        register_chaos_target("nic", self.name, self)
         host.register_adapter(self)
 
     # -- wiring ---------------------------------------------------------------

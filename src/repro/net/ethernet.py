@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Protocol
 
+from repro.chaos.hooks import register_target as register_chaos_target
 from repro.errors import LinkError
 from repro.net.train import train_batching_enabled
 from repro.oskernel.skbuff import SkBuff
@@ -73,6 +74,7 @@ class EthernetLink:
         self._txline = FifoTimeline(env, capacity=1, name=f"{name}.txline")
         self.frames = CounterMonitor(env, name=f"{name}.frames")
         self.bytes = CounterMonitor(env, name=f"{name}.bytes")
+        register_chaos_target("link", name, self)
 
     def connect(self, sink: FrameSink) -> None:
         """Attach the receiving end."""

@@ -1,112 +1,32 @@
-"""Fault injection taps: deterministic loss, duplication, reordering.
+"""Deprecated alias for :mod:`repro.chaos.taps`.
 
-The LAN testbeds are lossless, so TCP's recovery machinery would go
-untested without these.  A tap wraps a link's sink and perturbs the
-frame stream according to a deterministic plan — deterministic so every
-failing case replays exactly.
+The deterministic fault taps (:class:`~repro.chaos.taps.LossTap`,
+:class:`~repro.chaos.taps.DuplicateTap`,
+:class:`~repro.chaos.taps.ReorderTap`) moved into the chaos subsystem,
+which also adds declarative :class:`~repro.chaos.plan.FaultPlan`
+injection and recovery scoring (see ``docs/RESILIENCE.md``).  This shim
+keeps old imports working with a :class:`DeprecationWarning`; new code
+should import from :mod:`repro.chaos` instead.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
-
-from repro.errors import TopologyError
-from repro.oskernel.skbuff import SkBuff
-from repro.sim.engine import Environment
+import warnings
+from typing import Any
 
 __all__ = ["LossTap", "DuplicateTap", "ReorderTap"]
 
 
-class _Tap:
-    """Base: splice into a connected link."""
-
-    def __init__(self, env: Environment, link, kinds: Iterable[str] = ("data",)):
-        if link.sink is None:
-            raise TopologyError("tap must attach after the link is connected")
-        self.env = env
-        self.inner = link.sink
-        self.kinds = set(kinds)
-        self._count = 0
-        link.connect(self)
-
-    def _matches(self, skb: SkBuff) -> bool:
-        return skb.kind in self.kinds
-
-    def receive_frame(self, skb: SkBuff) -> None:  # pragma: no cover
-        raise NotImplementedError
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        warnings.warn(
+            f"repro.net.faults.{name} has moved to repro.chaos.taps; "
+            f"import it from repro.chaos instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.chaos import taps
+        return getattr(taps, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-class LossTap(_Tap):
-    """Drops the frames whose (per-kind) arrival index is in ``drops``.
-
-    Indices count only matching frames, starting at 0.  Retransmissions
-    count like any other frame, so a dropped index can be retried
-    successfully.
-    """
-
-    def __init__(self, env: Environment, link, drops: Iterable[int],
-                 kinds: Iterable[str] = ("data",)):
-        super().__init__(env, link, kinds)
-        self.drops: Set[int] = set(drops)
-        self.dropped: List[int] = []
-
-    def receive_frame(self, skb: SkBuff) -> None:
-        """Drop the frame when its index is planned; else pass through."""
-        if self._matches(skb):
-            index = self._count
-            self._count += 1
-            if index in self.drops:
-                self.dropped.append(skb.ident)
-                return
-        self.inner.receive_frame(skb)
-
-
-class DuplicateTap(_Tap):
-    """Delivers the frames at the given indices twice (stale copies)."""
-
-    def __init__(self, env: Environment, link, duplicates: Iterable[int],
-                 kinds: Iterable[str] = ("data",)):
-        super().__init__(env, link, kinds)
-        self.duplicates: Set[int] = set(duplicates)
-        self.duplicated: List[int] = []
-
-    def receive_frame(self, skb: SkBuff) -> None:
-        """Pass through; deliver a stale copy when planned."""
-        deliver_twice = False
-        if self._matches(skb):
-            if self._count in self.duplicates:
-                deliver_twice = True
-                self.duplicated.append(skb.ident)
-            self._count += 1
-        self.inner.receive_frame(skb)
-        if deliver_twice:
-            clone = skb.copy_for_retransmit()
-            clone.meta.update(skb.meta)
-            self.inner.receive_frame(clone)
-
-
-class ReorderTap(_Tap):
-    """Holds the frames at the given indices for ``delay_s``, letting
-    later frames overtake them."""
-
-    def __init__(self, env: Environment, link, holds: Iterable[int],
-                 delay_s: float = 50e-6,
-                 kinds: Iterable[str] = ("data",)):
-        if delay_s < 0:
-            raise TopologyError("hold delay cannot be negative")
-        super().__init__(env, link, kinds)
-        self.holds: Set[int] = set(holds)
-        self.delay_s = delay_s
-        self.held: List[int] = []
-
-    def receive_frame(self, skb: SkBuff) -> None:
-        """Hold planned frames for ``delay_s``; pass others through."""
-        if self._matches(skb):
-            index = self._count
-            self._count += 1
-            if index in self.holds:
-                self.held.append(skb.ident)
-                self.env.schedule_call(self.delay_s,
-                                       self.inner.receive_frame, skb)
-                return
-        self.inner.receive_frame(skb)
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))

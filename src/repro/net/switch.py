@@ -13,6 +13,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional
 
+from repro.chaos.hooks import register_target as register_chaos_target
 from repro.errors import LinkError, TopologyError
 from repro.net.ethernet import EthernetLink
 from repro.net.train import BacklogView, train_batching_enabled
@@ -83,6 +84,7 @@ class SwitchPort:
             self._c_drop = metrics.counter("switch.drops", **label)
         else:
             self._c_fwd = self._c_drop = None
+        register_chaos_target("switch_port", f"{switch.name}.{port_id}", self)
         if not self._batched:
             env.process(self._drain(), name=f"{switch.name}.{port_id}.drain")
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
+from repro.chaos.hooks import register_target as register_chaos_target
 from repro.errors import LinkError, TopologyError
 from repro.net.ethernet import FrameSink
 from repro.net.train import BacklogView, train_batching_enabled
@@ -70,10 +71,19 @@ class PosCircuit:
         metrics = active_metrics()
         self._c_tx = (metrics.counter("pos.tx.frames", circuit=name)
                       if metrics is not None else None)
+        register_chaos_target("link", name, self)
 
     def connect(self, sink: FrameSink) -> None:
         """Attach the far end."""
         self._sink = sink
+
+    @property
+    def sink(self) -> Optional[FrameSink]:
+        """The attached receiver (None while unconnected) — the same
+        tap-compatible accessor :class:`~repro.net.ethernet.
+        EthernetLink` exposes, so fault taps can splice into WAN
+        circuits too."""
+        return self._sink
 
     def serialization_time(self, skb: SkBuff) -> float:
         """Seconds to clock one packet onto the circuit."""
@@ -171,6 +181,7 @@ class Router:
             self._c_drop = metrics.counter("wan.drops", router=name)
         else:
             self._c_fwd = self._c_drop = None
+        register_chaos_target("router", name, self)
         if not self._batched:
             env.process(self._drain(), name=f"{name}.drain")
 

@@ -37,6 +37,7 @@ from functools import partial
 from time import perf_counter
 from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
+from repro.chaos.hooks import attach_environment as _attach_chaos
 from repro.errors import ScheduleInPastError, SimulationError
 from repro.telemetry.profiling import component_of as _component_of
 from repro.telemetry.session import active_metrics as _active_metrics
@@ -473,6 +474,11 @@ class Environment:
             # partial() keeps the heap push a single C call from the
             # Timeout hot path (no bound-method dispatch).
             self._push = partial(_heappush, self._queue)
+        # Chaos first: a non-empty fault plan schedules its arm/fire/
+        # recover events before anything else can, so they win (time,
+        # seq) ties against frame deliveries on every scheduler/data
+        # path; with no plan this is a single is-None test.
+        _attach_chaos(self)
         _attach_environment(self)
 
     # -- scheduler backend ---------------------------------------------------

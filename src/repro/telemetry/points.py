@@ -8,7 +8,7 @@ table as the user-facing reference.
 
 Layer prefixes mirror the source tree: ``pcix``/``mch``/``nic``/``irq``
 (hw), ``skbuff``/``copy``/``host`` (oskernel boundary), ``tcp`` (tcp),
-``switch``/``wan``/``pos`` (net).
+``switch``/``wan``/``pos`` (net), ``chaos`` (fault injection).
 """
 
 from __future__ import annotations
@@ -89,6 +89,23 @@ _POINTS: Tuple[Tuple[str, str, str], ...] = (
     ("wan.drop", "net", "Packet dropped at a full WAN router queue"),
     ("wan.forward", "net", "Packet forwarded by a WAN router"),
     ("pos.tx", "net", "Packet serialized onto a POS circuit"),
+    # -- chaos engine ---------------------------------------------------------
+    ("chaos.fault_armed", "chaos",
+     "Fault plan entry resolved its targets at simulation start "
+     "(matched = components wrapped)"),
+    ("chaos.fault_fired", "chaos", "Fault window opened"),
+    ("chaos.fault_recovered", "chaos",
+     "Fault window closed; degraded state restored"),
+    ("chaos.frame_drop", "chaos",
+     "Frame destroyed by an open fault window (flap/loss/corruption/"
+     "reset)"),
+    ("chaos.frame_hold", "chaos",
+     "Frame delayed by an open fault window (reorder/NIC stall)"),
+    ("chaos.frame_dup", "chaos",
+     "Stale copy of a frame delivered by a duplicate fault"),
+    ("chaos.unmatched", "chaos",
+     "Fault plan entry matched no component in this topology "
+     "(armed as a no-op)"),
 )
 
 #: name -> :class:`InstrumentationPoint`, the authoritative catalog.

@@ -1,0 +1,49 @@
+"""The result cache must never alias chaotic and clean runs."""
+
+from repro.cache import ResultCache, stable_key
+from repro.chaos import FaultPlan, FaultSpec, chaos_session
+
+
+def make_plan(probability=0.5):
+    return FaultPlan(name="cache", seed=3, faults=(
+        FaultSpec(kind="loss_burst", target="link:xover.*", start_s=0.0,
+                  duration_s=1.0, probability=probability),))
+
+
+def test_no_plan_and_empty_plan_share_keys():
+    clean = stable_key("cfg", 1500)
+    with chaos_session(FaultPlan()):
+        assert stable_key("cfg", 1500) == clean
+
+
+def test_different_plans_produce_different_keys():
+    clean = stable_key("cfg", 1500)
+    with chaos_session(make_plan(probability=0.5)):
+        key_a = stable_key("cfg", 1500)
+    with chaos_session(make_plan(probability=0.6)):
+        key_b = stable_key("cfg", 1500)
+    assert len({clean, key_a, key_b}) == 3
+
+
+def test_equal_plans_share_keys():
+    with chaos_session(make_plan()):
+        key_a = stable_key("cfg", 1500)
+    with chaos_session(make_plan()):  # rebuilt, equal content
+        key_b = stable_key("cfg", 1500)
+    assert key_a == key_b
+
+
+def test_result_cache_misses_across_plans(tmp_path):
+    """Two identical configurations under different fault plans must not
+    see each other's cached results."""
+    cache = ResultCache(tmp_path / "cache")
+    with chaos_session(make_plan(probability=0.5)):
+        cache.put(cache.key("point", 9000), {"goodput": 1.0})
+    with chaos_session(make_plan(probability=0.9)):
+        hit, _ = cache.get(cache.key("point", 9000))
+        assert not hit  # different plan: recompute
+    with chaos_session(make_plan(probability=0.5)):
+        hit, value = cache.get(cache.key("point", 9000))
+        assert hit and value == {"goodput": 1.0}  # same plan: reuse
+    hit, _ = cache.get(cache.key("point", 9000))
+    assert not hit  # chaos-off must not see chaotic results either

@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import TuningConfig
-from repro.net.faults import DuplicateTap, LossTap, ReorderTap
+from repro.chaos import DuplicateTap, LossTap, ReorderTap
 from repro.net.topology import BackToBack
 from repro.sim import Environment
 from repro.tcp.connection import TcpConnection

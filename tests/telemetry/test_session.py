@@ -128,7 +128,7 @@ class TestCatalog:
     def test_keys_match_entry_names(self):
         for name, point in CATALOG.items():
             assert point.name == name
-            assert point.layer in {"hw", "oskernel", "tcp", "net", "sim"}
+            assert point.layer in {"hw", "oskernel", "tcp", "net", "sim", "chaos"}
             assert point.description
 
     def test_layer_of_cataloged_point(self):
