@@ -436,6 +436,78 @@ def check_chaos_overhead(threshold: float, repeats: int) -> tuple:
     return True, times
 
 
+def measure_fabric_benchmark(threshold: float,
+                             budget_s: float) -> tuple:
+    """The hybrid fluid+DES fabric gate (see docs/FABRICS.md).
+
+    Two checks, returned as ``(ok, metrics)``:
+
+    - **validation** — on the small fabric the envelope covers (k=4
+      fat-tree incast, 8 foreground + 32 background flows) the hybrid
+      aggregate goodput must stay within ``threshold`` (default 5%) of
+      the same workload run entirely in the packet DES;
+    - **tractability** — a 1024-flow incast on a k=8 fat-tree must
+      complete in hybrid mode within ``budget_s`` wall seconds (the
+      all-DES equivalent is out of reach entirely) — the point of the
+      hybrid fast path.
+    """
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.net.fabric import build_fat_tree
+    from repro.net.hybrid import FabricSimulation, incast_pairs
+
+    print("\nfabric benchmark (hybrid fluid+DES):")
+    small = build_fat_tree(4)
+    pairs = incast_pairs(small, 40)
+    des = FabricSimulation(small, pairs, n_foreground=8,
+                           mode="des").run(duration_s=0.1)
+    hyb = FabricSimulation(small, pairs, n_foreground=8,
+                           mode="hybrid").run(duration_s=0.1)
+    rel_err = (abs(hyb.aggregate_goodput_bps - des.aggregate_goodput_bps)
+               / des.aggregate_goodput_bps)
+    print(f"  validation (k=4 fat-tree, 8 fg + 32 bg incast):")
+    print(f"    all-DES   {des.aggregate_goodput_gbps:>7.3f} Gb/s  "
+          f"({des.wall_s:.2f} s wall)")
+    print(f"    hybrid    {hyb.aggregate_goodput_gbps:>7.3f} Gb/s  "
+          f"({hyb.wall_s:.2f} s wall)")
+    print(f"    rel diff  {rel_err:>7.2%}")
+
+    big = build_fat_tree(8)
+    scale = FabricSimulation(big, incast_pairs(big, 1024),
+                             n_foreground=8,
+                             mode="hybrid").run(duration_s=0.2)
+    print(f"  1024-flow incast (k=8 fat-tree, hybrid): "
+          f"{scale.aggregate_goodput_gbps:.3f} Gb/s in "
+          f"{scale.wall_s:.2f} s wall "
+          f"({scale.events_scheduled:,} DES events, "
+          f"{scale.coupler_ticks} coupling ticks)")
+
+    metrics = {
+        "validation_des_gbps": des.aggregate_goodput_gbps,
+        "validation_hybrid_gbps": hyb.aggregate_goodput_gbps,
+        "validation_rel_err": rel_err,
+        "validation_des_wall_s": des.wall_s,
+        "validation_hybrid_wall_s": hyb.wall_s,
+        "incast1024_gbps": scale.aggregate_goodput_gbps,
+        "incast1024_wall_s": scale.wall_s,
+        "incast1024_events": float(scale.events_scheduled),
+        "incast1024_coupler_ticks": float(scale.coupler_ticks),
+    }
+    ok = True
+    if rel_err > threshold:
+        print(f"\nFAIL: hybrid aggregate goodput is {rel_err:.2%} away "
+              f"from all-DES (gate {threshold:.0%}).")
+        ok = False
+    if scale.wall_s > budget_s:
+        print(f"\nFAIL: 1024-flow hybrid incast took {scale.wall_s:.1f} s "
+              f"(budget {budget_s:.0f} s).")
+        ok = False
+    if ok:
+        print(f"OK: hybrid within {threshold:.0%} of all-DES "
+              f"({rel_err:.2%}) and 1024 flows in {scale.wall_s:.1f} s "
+              f"(budget {budget_s:.0f} s).")
+    return ok, metrics
+
+
 def check_trace_overhead(threshold: float, repeats: int) -> bool:
     """Run the overhead bench and report; True when within threshold."""
     print(f"\ntracing-overhead bench (best of {repeats}):")
@@ -507,6 +579,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also run the fig3+wan figure-sweep speedup "
                              "bench (batched+calendar vs legacy+heap; "
                              "adds minutes)")
+    parser.add_argument("--fabric-threshold", type=float, default=0.05,
+                        help="maximum tolerated hybrid-vs-DES aggregate "
+                             "goodput deviation on the validation fabric "
+                             "(default 0.05 = 5%%)")
+    parser.add_argument("--fabric-budget-s", type=float, default=60.0,
+                        help="wall-clock budget for the 1024-flow hybrid "
+                             "incast (default 60 s)")
+    parser.add_argument("--fabric-only", action="store_true",
+                        help="run only the fabric benchmark gate")
+    parser.add_argument("--skip-fabric-bench", action="store_true",
+                        help="skip the fabric benchmark")
     args = parser.parse_args(argv)
 
     if args.trace_overhead_only:
@@ -514,6 +597,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if ok else 1
     if args.chaos_overhead_only:
         ok, _ = check_chaos_overhead(args.chaos_threshold, args.chaos_repeats)
+        return 0 if ok else 1
+    if args.fabric_only:
+        ok, _ = measure_fabric_benchmark(args.fabric_threshold,
+                                         args.fabric_budget_s)
         return 0 if ok else 1
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -568,6 +655,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         chaos_ok, chaos_times = check_chaos_overhead(
             args.chaos_threshold, args.chaos_repeats)
         extra["chaos_overhead"] = chaos_times
+    fabric_ok = True
+    if not args.skip_fabric_bench:
+        fabric_ok, fabric_metrics = measure_fabric_benchmark(
+            args.fabric_threshold, args.fabric_budget_s)
+        extra["fabric"] = fabric_metrics
     if args.figure_sweep:
         sweep = measure_figure_sweep()
         extra["figure_sweep"] = sweep
@@ -587,7 +679,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             record_extra_metrics(out_path, extra)
             return 1
     record_extra_metrics(out_path, extra)
-    if not sched_ok or not chaos_ok:
+    if not sched_ok or not chaos_ok or not fabric_ok:
         return 1
     if not args.skip_trace_overhead:
         if not check_trace_overhead(args.trace_threshold, args.trace_repeats):

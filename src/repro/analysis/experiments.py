@@ -672,6 +672,88 @@ def _comparison(quick: bool = True) -> ExperimentOutput:
               "tengbe_bps": single, "latency_us": latency})
 
 
+# ---------------------------------------------------------------------------
+# Fabric-scale scenarios: incast / all-to-all / bisection sweeps
+# ---------------------------------------------------------------------------
+
+#: flow-count sweeps for the fabric experiments (quick vs paper-scale)
+_FABRIC_QUICK_FLOWS = (16, 64, 256)
+_FABRIC_FULL_FLOWS = (16, 64, 256, 1024, 4096)
+
+
+def _fabric_point(task: tuple) -> Dict[str, Any]:
+    """One fabric sweep point (module-level for the parallel runner)."""
+    from repro.net.fabric import build_fat_tree, build_torus3d
+    from repro.net.hybrid import (FabricSimulation, alltoall_pairs,
+                                  bisection_pairs, incast_pairs)
+
+    workload, n_flows, duration_s = task
+    if workload == "bisection":
+        topo = build_torus3d(4, 4, 4)
+        pairs = bisection_pairs(topo, n_flows)
+    else:
+        topo = build_fat_tree(8)
+        gen = incast_pairs if workload == "incast" else alltoall_pairs
+        pairs = gen(topo, n_flows)
+    sim = FabricSimulation(topo, pairs, n_foreground=8)
+    r = sim.run(duration_s=duration_s)
+    return {
+        "flows": n_flows,
+        "mode": r.mode,
+        "aggregate_gbps": round(r.aggregate_goodput_gbps, 3),
+        "foreground_gbps": round(r.foreground_goodput_bps / 1e9, 3),
+        "background_gbps": round(r.background_goodput_bps / 1e9, 3),
+        "drops": r.foreground_drops,
+        "fluid_losses": r.fluid_losses,
+        # deterministic proxy for cost (wall time would break the
+        # bit-identical serial-vs-parallel parity contract)
+        "des_events": r.events_scheduled,
+    }
+
+
+def _fabric_experiment(workload: str, quick: bool,
+                       title: str) -> ExperimentOutput:
+    from repro.analysis.tables import format_table
+
+    flows = _FABRIC_QUICK_FLOWS if quick else _FABRIC_FULL_FLOWS
+    duration_s = 0.02 if quick else 0.1
+    rows = SweepRunner().map(
+        _fabric_point, [(workload, n, duration_s) for n in flows],
+        cache_ns=f"fabric-{workload}")
+    return ExperimentOutput(
+        experiment=workload,
+        text=format_table(rows, title=title),
+        data={"rows": rows, "duration_s": duration_s})
+
+
+@_register("incast")
+def _incast(quick: bool = True) -> ExperimentOutput:
+    """Fabric incast: N senders converge on one fat-tree host — the
+    many-clients aggregation of Fig. 2(c) pushed to cluster scale via
+    the hybrid fluid+DES fast path (see docs/FABRICS.md)."""
+    return _fabric_experiment(
+        "incast", quick,
+        "Fabric incast (k=8 fat-tree, N senders -> 1 server)")
+
+
+@_register("alltoall")
+def _alltoall(quick: bool = True) -> ExperimentOutput:
+    """Fabric all-to-all: flows cycling over every ordered host pair of
+    a k=8 fat-tree (the MPI collective / shuffle pattern)."""
+    return _fabric_experiment(
+        "alltoall", quick,
+        "Fabric all-to-all (k=8 fat-tree, ordered host pairs)")
+
+
+@_register("bisection")
+def _bisection(quick: bool = True) -> ExperimentOutput:
+    """Fabric bisection: mirror-pair flows across a 4x4x4 torus cut
+    (the APENet/PACS-CS LQCD fabric shape)."""
+    return _fabric_experiment(
+        "bisection", quick,
+        "Fabric bisection (4x4x4 torus, mirror pairs across the cut)")
+
+
 @_register("wan")
 def _wan(quick: bool = True) -> ExperimentOutput:
     """§4: the Land Speed Record run + buffer sweep + DES cross-check."""

@@ -67,6 +67,8 @@ class SwitchPort:
         self.port_id = port_id
         self.egress = egress
         self._batched = train_batching_enabled()
+        #: hybrid-mode shared-queue coupling (None outside hybrid runs)
+        self.coupling = None
         if self._batched:
             self._backlog: Deque[SkBuff] = deque()
             self._busy = False
@@ -94,9 +96,19 @@ class SwitchPort:
         self.env.schedule_call(self.switch.model.forwarding_latency_s,
                                self._enqueue, skb)
 
+    def couple(self, coupling) -> None:
+        """Attach a hybrid-mode :class:`~repro.net.coupling.QueueCoupling`.
+
+        Fluid background pressure then early-drops frames at admission
+        (the queue is shared) and every forwarded frame is reported back
+        for the fluid model's cross-traffic accounting."""
+        self.coupling = coupling
+
     def _enqueue(self, skb: SkBuff) -> None:
         trace = self.trace
-        if self.queue.level >= self.queue.capacity:
+        coupling = self.coupling
+        if self.queue.level >= self.queue.capacity or \
+                (coupling is not None and not coupling.admit()):
             self.drops.add()
             if self._c_drop is not None:
                 self._c_drop.inc()
@@ -128,6 +140,8 @@ class SwitchPort:
         self.forwarded.add()
         if self._c_fwd is not None:
             self._c_fwd.inc()
+        if self.coupling is not None:
+            self.coupling.record_service(skb.wire_bytes)
         trace = self.trace
         if trace.enabled:
             trace.post(self.env.now, "switch.forward", skb.ident,
@@ -146,6 +160,8 @@ class SwitchPort:
             self.forwarded.add()
             if self._c_fwd is not None:
                 self._c_fwd.inc()
+            if self.coupling is not None:
+                self.coupling.record_service(skb.wire_bytes)
             trace = self.trace
             if trace.enabled:
                 trace.post(self.env.now, "switch.forward", skb.ident,

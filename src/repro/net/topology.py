@@ -6,6 +6,11 @@
   switch into one (or two) server adapters.
 * :func:`build_wan_path`— §4: Sunnyvale and Geneva hosts joined by the
   OC-192/OC-48 path in both directions.
+
+Generated cluster/grid fabrics (k-ary fat-tree, 3-D torus) with
+deterministic ECMP routing live in :mod:`repro.net.fabric` and are
+re-exported here: :func:`build_fat_tree`, :func:`build_torus3d`,
+:class:`FabricTopology`.
 """
 
 from __future__ import annotations
@@ -20,13 +25,16 @@ from repro.hw.host import Host
 from repro.hw.nic import GigAdapter, TenGigAdapter
 from repro.hw.presets import GBE_HOST, HostSpec, PE2650, WAN_HOST
 from repro.net.ethernet import DEFAULT_CABLE_M, EthernetLink
+from repro.net.fabric import (FabricLinkSpec, FabricTopology, build_fat_tree,
+                              build_torus3d)
 from repro.net.switch import FASTIRON_1500, Switch, SwitchModel
 from repro.net.wanpath import WanPath
 from repro.sim.engine import Environment
 from repro.units import Gbps
 
 __all__ = ["BackToBack", "ThroughSwitch", "MultiFlow", "WanTestbed",
-           "build_wan_path"]
+           "build_wan_path", "FabricLinkSpec", "FabricTopology",
+           "build_fat_tree", "build_torus3d"]
 
 
 def _duplex(env: Environment, a, b, rate_bps: float, length_m: float,

@@ -8,7 +8,8 @@ order — which makes every experiment in this repository exactly
 reproducible.
 """
 
-from repro.sim.engine import Environment, Event, Timeout, Process, Interrupt
+from repro.sim.engine import (Environment, Event, Timeout, Process, Interrupt,
+                              PeriodicCall)
 from repro.sim.resources import Resource, Request, Store, StorePut, StoreGet
 from repro.sim.monitor import Monitor, CounterMonitor, UtilizationMonitor
 from repro.sim.rng import RngStreams
@@ -25,6 +26,7 @@ __all__ = [
     "Timeout",
     "Process",
     "Interrupt",
+    "PeriodicCall",
     "Resource",
     "Request",
     "Store",

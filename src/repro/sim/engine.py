@@ -44,7 +44,7 @@ from repro.telemetry.session import active_metrics as _active_metrics
 from repro.telemetry.session import attach_environment as _attach_environment
 
 __all__ = ["Environment", "Event", "Timeout", "Process", "Interrupt",
-           "CalendarQueue"]
+           "CalendarQueue", "PeriodicCall"]
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -223,6 +223,48 @@ def _run_call(event: "Event") -> None:
     the stored ``fn(*args)``.  A shared module-level function, so
     scheduling a call allocates no per-call closure."""
     event.fn(*event.args)
+
+
+class PeriodicCall:
+    """A cancellable fixed-interval callback (see :meth:`Environment.every`).
+
+    The first call fires one ``interval`` after creation, then every
+    ``interval`` thereafter until :meth:`cancel` — the primitive behind
+    the hybrid mode's fluid coupling tick.  Each firing schedules the
+    next through the pooled callback path, so a periodic call costs one
+    recycled event per tick and never retains a fired event.
+    """
+
+    __slots__ = ("env", "interval", "fn", "args", "fires", "_active")
+
+    def __init__(self, env: "Environment", interval: float,
+                 fn: Callable[..., None], args: tuple):
+        if interval <= 0:
+            raise ScheduleInPastError(
+                f"periodic interval must be positive: {interval!r}")
+        self.env = env
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self.fires = 0
+        self._active = True
+        env.schedule_call(interval, self._fire)
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        self.fires += 1
+        self.fn(*self.args)
+        if self._active:
+            self.env.schedule_call(self.interval, self._fire)
+
+    def cancel(self) -> None:
+        """Stop firing; the pending event becomes a no-op."""
+        self._active = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self._active else "cancelled"
+        return f"<PeriodicCall every {self.interval}s {state} fires={self.fires}>"
 
 
 class Interrupt(Exception):
@@ -658,6 +700,15 @@ class Environment:
         self._seq += 1
         self._push((at_time, self._seq, ev))
         return ev
+
+    def every(self, interval: float, fn: Callable[..., None],
+              *args: Any) -> PeriodicCall:
+        """Call ``fn(*args)`` every ``interval`` seconds until cancelled.
+
+        The first firing happens at ``now + interval``.  Returns the
+        :class:`PeriodicCall` handle; call its :meth:`~PeriodicCall.cancel`
+        to stop the ticking."""
+        return PeriodicCall(self, interval, fn, args)
 
     # -- engine internals ---------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:

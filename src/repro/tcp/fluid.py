@@ -1,4 +1,4 @@
-"""Fluid AIMD model of a single TCP flow over a bottleneck (for WAN runs).
+"""Fluid AIMD models of TCP flows over bottlenecks (WAN and fabric runs).
 
 Packet-level simulation of an hour-long, 54-MB-window transatlantic flow
 is wasteful; the §4 dynamics (slow start, congestion avoidance, queue
@@ -12,21 +12,37 @@ captured by the classic fluid model iterated per RTT:
   "we turn to the flow-control window to implicitly cap the
   congestion-window size to the bandwidth-delay product").
 
-Arrays are preallocated and the loop is scalar-light, per the
-HPC-Python guidance; a 10,000-RTT run costs milliseconds.
+Three granularities share that arithmetic:
+
+* :func:`simulate_fluid`          — one flow, one bottleneck (the §4 WAN runs),
+* :func:`simulate_fluid_multiflow`— N flows sharing one bottleneck (the
+  LSR multi-stream category),
+* :class:`FluidFabric`            — N flows over a *fabric* of links
+  (fat-tree / torus), steppable from outside so a discrete-event run
+  can advance it tick by tick and exchange traffic with it — the
+  background half of the hybrid fluid+DES mode
+  (:mod:`repro.net.hybrid`).
+
+Arrays are preallocated and the loops are scalar-light, per the
+HPC-Python guidance; a 10,000-RTT run costs milliseconds and a
+4096-flow fabric tick costs microseconds per flow-hop.
+
+All invalid-parameter failures raise
+:class:`~repro.errors.ProtocolError` (never a bare ``ValueError``), so
+callers can guard fluid runs with the package-wide exception hierarchy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ProtocolError
 
 __all__ = ["FluidParams", "FluidResult", "simulate_fluid",
-           "MultiFlowResult", "simulate_fluid_multiflow"]
+           "MultiFlowResult", "simulate_fluid_multiflow", "FluidFabric"]
 
 
 @dataclass(frozen=True)
@@ -162,7 +178,33 @@ def simulate_fluid(params: FluidParams, duration_s: float,
 
 @dataclass(frozen=True)
 class MultiFlowResult:
-    """Aggregates of an N-flow fluid run."""
+    """Aggregates of an N-flow fluid run.
+
+    Attributes
+    ----------
+    n_flows:
+        Number of simulated flows (>= 1).
+    time_s:
+        Sample instants, shape ``(steps,)``; spacing adapts to the
+        effective RTT like :class:`FluidResult`'s.
+    windows_segments:
+        Per-flow congestion windows in segments, shape
+        ``(steps, n_flows)``; 0.0 for a flow that has not started yet
+        (the ``stagger_s`` ramp).
+    aggregate_throughput_bps:
+        Aggregate served payload rate at each sample, shape
+        ``(steps,)``.
+    losses:
+        Total drop-tail loss events over the run (each event halves
+        exactly one flow — the one with the largest window).
+    mean_aggregate_bps:
+        Mean of ``aggregate_throughput_bps`` over the post-``warmup_s``
+        samples (all samples when the warmup excludes everything).
+    fairness:
+        Jain's fairness index over the flows' post-warmup mean windows:
+        1.0 for a perfectly even split, ``1/n_flows`` when one flow
+        holds everything.
+    """
 
     n_flows: int
     time_s: np.ndarray
@@ -256,3 +298,213 @@ def simulate_fluid_multiflow(params: FluidParams, n_flows: int,
                            losses=losses,
                            mean_aggregate_bps=mean_agg,
                            fairness=fairness)
+
+
+class FluidFabric:
+    """Steppable, vectorised N-flow fluid model over a fabric of links.
+
+    Where :func:`simulate_fluid_multiflow` runs to completion against a
+    single bottleneck, a :class:`FluidFabric` holds *per-link* NumPy
+    state (queue occupancy, capacity, drop-tail limit) for an arbitrary
+    directed fabric and advances it one :meth:`step` at a time, so a
+    discrete-event simulation can interleave with it on a coarse tick
+    (the hybrid fluid+DES mode of :mod:`repro.net.hybrid`):
+
+    * the DES injects its measured foreground rates via
+      :meth:`set_cross_traffic` — fluid flows then compete for the
+      *remaining* capacity of every link;
+    * after each step the DES reads :attr:`link_utilization` (fluid
+      share of each link) and :attr:`link_drop_prob` (fluid-induced
+      overflow probability) and applies them to its own queues — the
+      conservative half of the handoff.
+
+    Flow dynamics are the module's AIMD arithmetic, vectorised over
+    flows with ``np.add.reduceat`` route sums: rate = W/RTT_eff with
+    RTT_eff = base RTT + sum of queueing delays along the route; losses
+    are modelled by per-flow *loss pressure* (expected dropped packets
+    integrated along the route) — a flow halves when its pressure
+    reaches one packet, which desynchronises the flows the way per-flow
+    drop-tail hits do.
+
+    Parameters
+    ----------
+    link_capacity_pps:
+        Per-link service rate in packets/s, shape ``(L,)``.
+    link_queue_packets:
+        Per-link drop-tail queue limit in packets, shape ``(L,)``.
+    routes:
+        One link-index sequence per flow (each non-empty; indices into
+        the link arrays) — e.g. from
+        :meth:`repro.net.fabric.FabricTopology.route`.
+    base_rtt_s:
+        Propagation+processing RTT per flow: scalar or shape ``(n,)``.
+    mss:
+        Segment payload bytes (shared by all flows).
+    max_window_segments:
+        Socket-buffer window cap per flow: scalar or shape ``(n,)``.
+    start_times:
+        Optional per-flow start instants (seconds, relative to the
+        fabric's clock); flows are idle before their start.
+    """
+
+    def __init__(self, link_capacity_pps: Sequence[float],
+                 link_queue_packets: Sequence[float],
+                 routes: Sequence[Sequence[int]],
+                 base_rtt_s,
+                 mss: int,
+                 max_window_segments,
+                 start_times: Optional[Sequence[float]] = None,
+                 initial_window_segments: float = 2.0):
+        cap = np.asarray(link_capacity_pps, dtype=float)
+        qcap = np.asarray(link_queue_packets, dtype=float)
+        if cap.ndim != 1 or cap.size == 0:
+            raise ProtocolError("need at least one link")
+        if np.any(cap <= 0):
+            raise ProtocolError("link capacities must be positive")
+        if qcap.shape != cap.shape or np.any(qcap < 1):
+            raise ProtocolError("every link queue must hold at least one packet")
+        if not routes:
+            raise ProtocolError("need at least one flow")
+        if mss <= 0:
+            raise ProtocolError("MSS must be positive")
+        n = len(routes)
+        L = cap.size
+        lens = np.array([len(r) for r in routes], dtype=np.intp)
+        if np.any(lens == 0):
+            raise ProtocolError("every flow needs a non-empty route")
+        link_of = np.concatenate([np.asarray(r, dtype=np.intp)
+                                  for r in routes])
+        if link_of.min() < 0 or link_of.max() >= L:
+            raise ProtocolError("route refers to an unknown link index")
+        self.n_flows = n
+        self.n_links = L
+        self.mss = int(mss)
+        self._cap = cap
+        self._qcap = qcap
+        self._link_of = link_of
+        self._flow_of = np.repeat(np.arange(n, dtype=np.intp), lens)
+        # reduceat offsets: start of each flow's slice in link_of
+        self._offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        base = np.broadcast_to(np.asarray(base_rtt_s, dtype=float), (n,)).copy()
+        if np.any(base <= 0):
+            raise ProtocolError("base RTT must be positive")
+        wmax = np.broadcast_to(np.asarray(max_window_segments, dtype=float),
+                               (n,)).copy()
+        if np.any(wmax <= 0):
+            raise ProtocolError("window cap must be positive")
+        if initial_window_segments <= 0:
+            raise ProtocolError("initial window must be positive")
+        self._base_rtt = base
+        self._wmax = wmax
+        self._start = (np.zeros(n) if start_times is None
+                       else np.asarray(start_times, dtype=float).copy())
+        if self._start.shape != (n,) or np.any(self._start < 0):
+            raise ProtocolError("start times must be one non-negative value "
+                                "per flow")
+        self._w = np.minimum(np.full(n, float(initial_window_segments)), wmax)
+        self._ssthresh = np.full(n, np.inf)
+        self._pressure = np.zeros(n)
+        self._q = np.zeros(L)
+        self._cross = np.zeros(L)
+        self.now = 0.0
+        self.losses = 0
+        self.delivered_bits = np.zeros(n)
+        # per-step diagnostics consumed by the DES coupler
+        self.link_arrival_pps = np.zeros(L)
+        self.link_utilization = np.zeros(L)
+        self.link_drop_prob = np.zeros(L)
+
+    # -- DES handoff --------------------------------------------------------
+    def set_cross_traffic(self, pps: Sequence[float]) -> None:
+        """Install the DES foreground rate (packets/s) per link.
+
+        Fluid flows see ``capacity - cross`` as the service rate of each
+        link until the next call — the conservative sharing rule: the
+        packet-level traffic is real, the fluid traffic yields.
+        """
+        cross = np.asarray(pps, dtype=float)
+        if cross.shape != (self.n_links,):
+            raise ProtocolError(
+                f"cross traffic needs one rate per link "
+                f"({self.n_links}), got shape {cross.shape}")
+        np.clip(cross, 0.0, None, out=self._cross)
+
+    @property
+    def queue_packets(self) -> np.ndarray:
+        """Current fluid queue occupancy per link (packets)."""
+        return self._q
+
+    @property
+    def windows_segments(self) -> np.ndarray:
+        """Current per-flow congestion windows (segments)."""
+        return self._w
+
+    def aggregate_delivered_bits(self) -> float:
+        """Total payload bits delivered by all fluid flows so far."""
+        return float(self.delivered_bits.sum())
+
+    # -- dynamics -----------------------------------------------------------
+    def step(self, dt: float) -> None:
+        """Advance the fluid state by ``dt`` seconds.
+
+        Internally substeps at ~half the smallest base RTT so window
+        growth and queue integration stay smooth however coarse the
+        coupling tick is.
+        """
+        if dt <= 0:
+            raise ProtocolError("step duration must be positive")
+        substeps = max(1, int(np.ceil(dt / (self._base_rtt.min() / 2.0))))
+        sub = dt / substeps
+        cap = self._cap
+        qcap = self._qcap
+        link_of = self._link_of
+        flow_of = self._flow_of
+        offsets = self._offsets
+        free = np.maximum(cap - self._cross, 0.02 * cap)
+        arr_acc = np.zeros(self.n_links)
+        drop_acc = np.zeros(self.n_links)
+        for _ in range(substeps):
+            active = self._start <= self.now
+            qdelay = self._q / cap
+            rtt = self._base_rtt + np.add.reduceat(qdelay[link_of], offsets)
+            rates = np.where(active, self._w / rtt, 0.0)
+            arrivals = np.bincount(link_of, weights=rates[flow_of],
+                                   minlength=self.n_links)
+            self._q += (arrivals - free) * sub
+            np.clip(self._q, 0.0, None, out=self._q)
+            excess = self._q - qcap
+            np.clip(excess, 0.0, None, out=excess)
+            np.minimum(self._q, qcap, out=self._q)
+            # per-link drop fraction over this substep
+            arriving_pkts = arrivals * sub
+            p = np.where(excess > 0.0,
+                         excess / np.maximum(arriving_pkts, 1e-12), 0.0)
+            np.clip(p, 0.0, 0.95, out=p)
+            # expected losses per flow along its route
+            psum = np.add.reduceat(p[link_of], offsets)
+            self._pressure += rates * sub * psum
+            halve = active & (self._pressure >= 1.0)
+            if halve.any():
+                self.losses += int(halve.sum())
+                self._ssthresh = np.where(
+                    halve, np.maximum(self._w / 2.0, 2.0), self._ssthresh)
+                self._w = np.where(halve, self._ssthresh, self._w)
+                self._pressure = np.where(halve, 0.0, self._pressure)
+            frac = sub / rtt
+            grow = np.where(self._w < self._ssthresh, self._w * frac, frac)
+            self._w = np.where(active & ~halve,
+                               np.minimum(self._w + grow, self._wmax),
+                               self._w)
+            goodput = rates * np.maximum(1.0 - psum, 0.0)
+            self.delivered_bits += goodput * self.mss * 8.0 * sub
+            arr_acc += arrivals
+            drop_acc += p
+            self.now += sub
+        self.link_arrival_pps = arr_acc / substeps
+        served = np.minimum(self.link_arrival_pps, free)
+        self.link_utilization = np.clip(served / cap, 0.0, 0.95)
+        self.link_drop_prob = np.clip(drop_acc / substeps, 0.0, 0.95)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FluidFabric flows={self.n_flows} links={self.n_links} "
+                f"now={self.now:.6f}>")

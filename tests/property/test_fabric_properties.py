@@ -1,0 +1,74 @@
+"""Property-based tests for the fabric generators and hybrid routing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.fabric import build_fat_tree, build_torus3d
+
+arities = st.sampled_from([2, 4, 6, 8])
+dims = st.integers(min_value=1, max_value=4)
+
+
+class TestFatTreeProperties:
+    @given(arities)
+    @settings(max_examples=4, deadline=None)
+    def test_counts_follow_the_formulas(self, k):
+        topo = build_fat_tree(k)
+        assert len(topo.hosts) == k ** 3 // 4
+        assert len(topo.switches) == k * k + (k // 2) ** 2
+        assert topo.n_links == 3 * k ** 3 // 2
+
+    @given(arities, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_routes_are_shortest_paths(self, k, seed):
+        topo = build_fat_tree(k)
+        hosts = topo.hosts
+        src = hosts[seed % len(hosts)]
+        dst = hosts[(seed * 7 + 1) % len(hosts)]
+        if src == dst:
+            return
+        route = topo.route(src, dst, flow_id=seed)
+        assert len(route) == topo.path_hops(src, dst)
+        assert len(route) in (2, 4, 6)
+
+    @given(arities, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_routing_is_deterministic_across_instances(self, k, fid):
+        a, b = build_fat_tree(k), build_fat_tree(k)
+        src, dst = a.hosts[0], a.hosts[-1]
+        assert a.route(src, dst, flow_id=fid) == b.route(src, dst,
+                                                         flow_id=fid)
+
+
+class TestTorusProperties:
+    @given(dims, dims, dims)
+    @settings(max_examples=30, deadline=None)
+    def test_counts_follow_the_formulas(self, nx, ny, nz):
+        n = nx * ny * nz
+        if n < 2:
+            return
+        topo = build_torus3d(nx, ny, nz)
+        assert len(topo.hosts) == n
+        assert topo.switches == []
+        # directed links per dimension: ring (2 per node) when >= 3,
+        # a single duplex pair per node pair when exactly 2, none at 1
+        expected = sum(2 * n if s >= 3 else (n if s == 2 else 0)
+                       for s in (nx, ny, nz))
+        assert topo.n_links == expected
+
+    @given(dims, dims, dims, st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_routes_are_shortest_and_deterministic(self, nx, ny, nz, seed):
+        if nx * ny * nz < 2:
+            return
+        topo = build_torus3d(nx, ny, nz)
+        hosts = topo.hosts
+        src = hosts[seed % len(hosts)]
+        dst = hosts[(seed * 13 + 1) % len(hosts)]
+        if src == dst:
+            return
+        route = topo.route(src, dst, flow_id=seed)
+        assert len(route) == topo.path_hops(src, dst)
+        # max hop distance in a wraparound torus: sum of floor(s/2)
+        assert len(route) <= nx // 2 + ny // 2 + nz // 2
+        assert route == topo.route(src, dst, flow_id=seed)

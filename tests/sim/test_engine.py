@@ -354,3 +354,41 @@ def test_fast_timeout_negative_rejected():
     env = Environment()
     with pytest.raises(ScheduleInPastError):
         env._fast_timeout(-0.5)
+
+
+class TestPeriodicCall:
+    def test_fires_at_fixed_interval(self):
+        env = Environment()
+        at = []
+        handle = env.every(0.5, lambda: at.append(env.now))
+        env.run(until=2.25)
+        assert at == [0.5, 1.0, 1.5, 2.0]
+        assert handle.fires == 4
+
+    def test_cancel_stops_future_firings(self):
+        env = Environment()
+        at = []
+
+        def tick():
+            at.append(env.now)
+            if len(at) == 2:
+                handle.cancel()
+
+        handle = env.every(0.25, tick)
+        env.run(until=5.0)
+        assert at == [0.25, 0.5]
+        assert handle.fires == 2
+
+    def test_args_are_forwarded(self):
+        env = Environment()
+        seen = []
+        env.every(1.0, seen.append, "x")
+        env.run(until=2.5)
+        assert seen == ["x", "x"]
+
+    def test_rejects_non_positive_interval(self):
+        env = Environment()
+        with pytest.raises(ScheduleInPastError):
+            env.every(0.0, lambda: None)
+        with pytest.raises(ScheduleInPastError):
+            env.every(-1.0, lambda: None)

@@ -1,0 +1,109 @@
+"""The steppable multi-link FluidFabric model (hybrid-mode background)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.tcp.fluid import FluidFabric
+
+
+def one_link_fabric(n_flows=4, cap_pps=10_000.0, queue=128.0,
+                    base_rtt_s=1e-3, **kw):
+    return FluidFabric(link_capacity_pps=[cap_pps],
+                       link_queue_packets=[queue],
+                       routes=[[0]] * n_flows,
+                       base_rtt_s=base_rtt_s, mss=8948,
+                       max_window_segments=64.0, **kw)
+
+
+class TestValidation:
+    def test_rejects_bad_links(self):
+        with pytest.raises(ProtocolError):
+            FluidFabric([], [], [[0]], 1e-3, 8948, 64.0)
+        with pytest.raises(ProtocolError):
+            FluidFabric([0.0], [10.0], [[0]], 1e-3, 8948, 64.0)
+        with pytest.raises(ProtocolError):
+            FluidFabric([1e4], [0.5], [[0]], 1e-3, 8948, 64.0)
+
+    def test_rejects_bad_routes(self):
+        with pytest.raises(ProtocolError):
+            FluidFabric([1e4], [10.0], [], 1e-3, 8948, 64.0)
+        with pytest.raises(ProtocolError):
+            FluidFabric([1e4], [10.0], [[]], 1e-3, 8948, 64.0)
+        with pytest.raises(ProtocolError):
+            FluidFabric([1e4], [10.0], [[1]], 1e-3, 8948, 64.0)
+
+    def test_rejects_bad_flow_parameters(self):
+        with pytest.raises(ProtocolError):
+            one_link_fabric(base_rtt_s=0.0)  # via kwargs override
+        with pytest.raises(ProtocolError):
+            FluidFabric([1e4], [10.0], [[0]], 1e-3, 0, 64.0)
+        with pytest.raises(ProtocolError):
+            FluidFabric([1e4], [10.0], [[0]], 1e-3, 8948, 0.0)
+        with pytest.raises(ProtocolError):
+            FluidFabric([1e4], [10.0], [[0]], 1e-3, 8948, 64.0,
+                        initial_window_segments=0.0)
+        with pytest.raises(ProtocolError):
+            FluidFabric([1e4], [10.0], [[0]], 1e-3, 8948, 64.0,
+                        start_times=[0.0, 1.0])  # wrong shape
+
+    def test_rejects_bad_handoff_inputs(self):
+        fabric = one_link_fabric()
+        with pytest.raises(ProtocolError):
+            fabric.set_cross_traffic([1.0, 2.0])
+        with pytest.raises(ProtocolError):
+            fabric.step(0.0)
+
+
+class TestDynamics:
+    def test_converges_to_link_capacity(self):
+        fabric = one_link_fabric(n_flows=4, cap_pps=10_000.0)
+        fabric.step(0.5)
+        base = fabric.aggregate_delivered_bits()
+        fabric.step(0.5)
+        goodput_pps = (fabric.aggregate_delivered_bits() - base) \
+            / (8948 * 8.0) / 0.5
+        assert goodput_pps == pytest.approx(10_000.0, rel=0.10)
+
+    def test_cross_traffic_steals_capacity(self):
+        quiet = one_link_fabric()
+        loaded = one_link_fabric()
+        loaded.set_cross_traffic([5_000.0])
+        quiet.step(1.0)
+        loaded.step(1.0)
+        assert loaded.aggregate_delivered_bits() < \
+            quiet.aggregate_delivered_bits()
+        assert loaded.link_utilization[0] < quiet.link_utilization[0]
+
+    def test_windows_respect_caps_and_losses_halve(self):
+        fabric = one_link_fabric(n_flows=8, cap_pps=2_000.0, queue=16.0)
+        fabric.step(2.0)
+        assert fabric.losses > 0                   # overloaded queue
+        assert np.all(fabric.windows_segments <= 64.0)
+        assert np.all(fabric.windows_segments >= 0.0)
+        assert np.all(fabric.queue_packets <= 16.0 + 1e-9)
+
+    def test_started_flows_only(self):
+        fabric = one_link_fabric(n_flows=2, start_times=[0.0, 10.0])
+        fabric.step(0.5)
+        assert fabric.delivered_bits[0] > 0
+        assert fabric.delivered_bits[1] == 0.0
+
+    def test_time_advances_and_diagnostics_are_bounded(self):
+        fabric = one_link_fabric()
+        fabric.step(0.25)
+        assert fabric.now == pytest.approx(0.25)
+        assert 0.0 <= fabric.link_utilization[0] <= 0.95
+        assert 0.0 <= fabric.link_drop_prob[0] <= 0.95
+        assert fabric.link_arrival_pps[0] >= 0.0
+
+    def test_multi_link_routes_sum_per_link(self):
+        # two flows share link 0; flow 1 continues over link 1
+        fabric = FluidFabric(
+            link_capacity_pps=[1_000.0, 1_000.0],
+            link_queue_packets=[64.0, 64.0],
+            routes=[[0], [0, 1]],
+            base_rtt_s=1e-3, mss=8948, max_window_segments=32.0)
+        fabric.step(1.0)
+        assert fabric.link_arrival_pps[0] > fabric.link_arrival_pps[1]
+        assert fabric.aggregate_delivered_bits() > 0
