@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Observer smoke: live stream -> record -> replay, end to end.
+
+CI runs this (the ``observer-smoke`` job) to prove the whole
+observability loop works with nothing but the standard library:
+
+1. start an :class:`~repro.serve.ObserverServer` on an ephemeral port
+   and attach a raw SSE reader to ``GET /events``;
+2. run a short back-to-back transfer under a chaotic
+   :class:`~repro.chaos.FaultPlan` with a live
+   :class:`~repro.telemetry.TelemetryBus` and a
+   :class:`~repro.telemetry.RunRecorder` persisting the stream into a
+   ``.reprorun`` bundle;
+3. assert the SSE client saw at least one ``metrics`` and one ``chaos``
+   event (plus traces and heartbeats) *while the run executed*;
+4. reload the bundle and assert replay identity: every recorded event
+   comes back, in sequence order, bit-identical to what was streamed.
+
+Run:  PYTHONPATH=src python examples/observer_smoke.py
+"""
+
+import http.client
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+from repro.chaos import FaultPlan, FaultSpec, chaos_session
+from repro.config import TuningConfig
+from repro.net.topology import BackToBack
+from repro.serve import ObserverServer
+from repro.sim.engine import Environment
+from repro.tcp.connection import TcpConnection
+from repro.telemetry import (RunRecorder, TelemetryBus, load_bundle,
+                             telemetry_session)
+from repro.tools.nttcp import nttcp_run
+
+PAYLOAD = 8948
+COUNT = 512
+
+
+class SseReader(threading.Thread):
+    """Minimal SSE client: collects ``data:`` payloads off /events."""
+
+    def __init__(self, port: int):
+        super().__init__(daemon=True)
+        self.port = port
+        self.events = []
+        self.done = threading.Event()
+
+    def run(self) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=30)
+        conn.request("GET", "/events")
+        resp = conn.getresponse()
+        buf = b""
+        while not self.done.is_set():
+            chunk = resp.read1(65536)
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n\n" in buf:
+                frame, buf = buf.split(b"\n\n", 1)
+                for line in frame.split(b"\n"):
+                    if line.startswith(b"data: "):
+                        self.events.append(json.loads(line[6:]))
+        conn.close()
+
+
+def http_get(port: int, path: str) -> bytes:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    conn.request("GET", path)
+    resp = conn.getresponse()
+    body = resp.read()
+    conn.close()
+    assert resp.status == 200, f"GET {path} -> {resp.status}"
+    return body
+
+
+def main() -> int:
+    bundle_path = pathlib.Path(tempfile.mkdtemp()) / "smoke.reprorun"
+    plan = FaultPlan(name="observer-smoke", seed=7, faults=(
+        FaultSpec(kind="loss_burst", target="link:*", start_s=1e-4,
+                  duration_s=2e-4, probability=0.3),
+    ))
+
+    bus = TelemetryBus()
+    with ObserverServer(bus=bus, meta={"experiments": "smoke"}) as server:
+        print(f"observer: {server.url}")
+        assert http_get(server.port, "/healthz").strip() == b"ok"
+        assert b"repro observer" in http_get(server.port, "/")
+        meta = json.loads(http_get(server.port, "/meta"))
+        assert meta["mode"] == "live", meta
+
+        reader = SseReader(server.port)
+        reader.start()
+        time.sleep(0.2)  # let the subscription attach before the run
+
+        recorder = RunRecorder(bus, bundle_path)
+        with telemetry_session(trace=True, bus=bus):
+            bus.publish_meta("run_start", experiment="smoke")
+            with chaos_session(plan):
+                env = Environment()
+                link = BackToBack.create(
+                    env, TuningConfig.oversized_windows(9000))
+                conn = TcpConnection(env, link.a, link.b)
+                nttcp_run(env, conn, payload=PAYLOAD, count=COUNT)
+            bus.publish_meta("run_end", experiment="smoke")
+        bundle = recorder.close()
+
+        deadline = time.time() + 30
+        while (len(reader.events) < bundle.event_count
+               and time.time() < deadline):
+            time.sleep(0.1)
+        reader.done.set()
+        reader.join(timeout=10)
+
+    kinds = {}
+    for ev in reader.events:
+        kinds[ev["kind"]] = kinds.get(ev["kind"], 0) + 1
+    print(f"streamed {len(reader.events)} events over SSE: "
+          + ", ".join(f"{k}:{n}" for k, n in sorted(kinds.items())))
+    assert kinds.get("metrics", 0) >= 1, "no metrics events over SSE"
+    assert kinds.get("chaos", 0) >= 1, "no chaos events over SSE"
+    assert kinds.get("trace", 0) >= 1, "no trace events over SSE"
+    assert kinds.get("heartbeat", 0) >= 1, "no heartbeats over SSE"
+
+    # Replay identity: the bundle re-drives a consumer with the exact
+    # event sequence the live client saw.
+    loaded = load_bundle(bundle_path)
+    replayed = []
+    count = loaded.replay(replayed.append)
+    assert count == loaded.event_count == bundle.event_count
+    assert len(reader.events) == count, \
+        f"SSE saw {len(reader.events)} events, bundle has {count}"
+    assert replayed == reader.events, "replayed stream != streamed events"
+    summary = loaded.summary()
+    assert summary["chaos_events"] >= 1
+    print(f"bundle {bundle_path}: {count} events replayed bit-identically "
+          f"({summary['chaos_events']} chaos events)")
+
+    # Replay serving: the same bundle over the dashboard endpoints.
+    with ObserverServer(bundle=loaded) as server:
+        meta = json.loads(http_get(server.port, "/meta"))
+        assert meta["mode"] == "replay", meta
+        events = json.loads(http_get(server.port, "/bundle"))
+        assert len(events) == count
+    print("observer smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,13 @@ with every chaos hook bypassed, measured on the reference nttcp
 transfer and recorded into the archived JSON (under
 ``repro_metrics.chaos_overhead``).
 
+And the streaming layer: a telemetry session carrying an idle
+(no-subscriber) :class:`TelemetryBus` must cost within
+``--stream-threshold`` (default 3%) of the same session with no bus at
+all, measured on the reference transfer and recorded under
+``repro_metrics.stream_overhead`` (``--stream-overhead-only`` runs
+just this gate).
+
 Beyond the pytest-benchmark suite the script also records simulator
 metrics into the archived JSON (under ``repro_metrics``):
 
@@ -436,6 +443,87 @@ def check_chaos_overhead(threshold: float, repeats: int) -> tuple:
     return True, times
 
 
+def measure_stream_overhead(repeats: int = 5,
+                            count: int = 256) -> Dict[str, float]:
+    """Time the reference transfer with/without an idle telemetry bus.
+
+    The streaming layer's contract is that carrying a
+    :class:`TelemetryBus` with **no consumers** costs nothing beyond
+    one truthiness test per would-be publish: no heartbeat tap is
+    scheduled, no trace events are re-published, and the run stays
+    bit-identical to a bus-less one.  Three variants,
+    best-of-``repeats``, interleaved, each timing topology construction
+    + a full traced nttcp transfer under a telemetry session:
+
+    - ``baseline`` — ``telemetry_session(trace=True)``, no bus at all,
+    - ``idle_bus`` — same session carrying a bus with zero consumers
+      (the gated comparison: what every ``--serve``-capable build pays
+      when nobody is watching),
+    - ``ring``     — bus with one ring subscriber attached
+      (informational: the live-streaming price when someone *is*
+      watching).
+    """
+    sys.path.insert(0, str(ROOT / "src"))
+    from time import perf_counter
+
+    from repro.config import TuningConfig
+    from repro.net.topology import BackToBack
+    from repro.sim.engine import Environment
+    from repro.tcp.connection import TcpConnection
+    from repro.telemetry import TelemetryBus, telemetry_session
+    from repro.tools.nttcp import nttcp_run
+
+    def timed_transfer() -> float:
+        start = perf_counter()
+        env = Environment()
+        bb = BackToBack.create(env, TuningConfig.oversized_windows(9000))
+        conn = TcpConnection(env, bb.a, bb.b)
+        nttcp_run(env, conn, payload=8948, count=count)
+        return perf_counter() - start
+
+    def run_variant(variant: str) -> float:
+        bus = None
+        sub = None
+        if variant != "baseline":
+            bus = TelemetryBus()
+            if variant == "ring":
+                sub = bus.subscribe("bench")
+        try:
+            with telemetry_session(trace=True, bus=bus):
+                return timed_transfer()
+        finally:
+            if sub is not None:
+                sub.close()
+
+    variants = ("baseline", "idle_bus", "ring")
+    best = {v: float("inf") for v in variants}
+    for _ in range(repeats):
+        for v in variants:  # interleave so drift hits all variants alike
+            best[v] = min(best[v], run_variant(v))
+    return best
+
+
+def check_stream_overhead(threshold: float, repeats: int) -> tuple:
+    """Gate the idle (no-consumer) streaming hooks; ``(ok, times)``."""
+    print(f"\nstream-overhead bench (best of {repeats}):")
+    times = measure_stream_overhead(repeats=repeats)
+    base = times["baseline"]
+    for variant in ("baseline", "idle_bus", "ring"):
+        t = times[variant]
+        rel = "" if variant == "baseline" else f"  {t / base - 1.0:+7.1%}"
+        print(f"  {variant:<9}  {t:>10.6f} s{rel}")
+    overhead = times["idle_bus"] / base - 1.0
+    times["idle_overhead"] = overhead
+    if overhead > threshold:
+        print(f"\nFAIL: idle streaming-hook overhead {overhead:+.1%} "
+              f"exceeds {threshold:.0%} — an unobserved bus is no "
+              f"longer near-free.")
+        return False, times
+    print(f"OK: idle streaming-hook overhead {overhead:+.1%} is within "
+          f"{threshold:.0%}.")
+    return True, times
+
+
 def measure_fabric_benchmark(threshold: float,
                              budget_s: float) -> tuple:
     """The hybrid fluid+DES fabric gate (see docs/FABRICS.md).
@@ -567,6 +655,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run only the chaos-overhead bench")
     parser.add_argument("--skip-chaos-overhead", action="store_true",
                         help="skip the chaos-overhead bench")
+    parser.add_argument("--stream-threshold", type=float, default=0.03,
+                        help="maximum tolerated slowdown of the reference "
+                             "transfer from an idle (no-consumer) "
+                             "telemetry bus (default 0.03 = 3%%)")
+    parser.add_argument("--stream-repeats", type=int, default=5,
+                        help="repeats for the stream-overhead bench "
+                             "(best-of; default 5)")
+    parser.add_argument("--stream-overhead-only", action="store_true",
+                        help="run only the stream-overhead bench")
+    parser.add_argument("--skip-stream-overhead", action="store_true",
+                        help="skip the stream-overhead bench")
     parser.add_argument("--scheduler-threshold", type=float, default=0.15,
                         help="minimum calendar-vs-heap advantage on the "
                              "deep-queue microbench (default 0.15 = 15%%)")
@@ -597,6 +696,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if ok else 1
     if args.chaos_overhead_only:
         ok, _ = check_chaos_overhead(args.chaos_threshold, args.chaos_repeats)
+        return 0 if ok else 1
+    if args.stream_overhead_only:
+        ok, _ = check_stream_overhead(args.stream_threshold,
+                                      args.stream_repeats)
         return 0 if ok else 1
     if args.fabric_only:
         ok, _ = measure_fabric_benchmark(args.fabric_threshold,
@@ -655,6 +758,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         chaos_ok, chaos_times = check_chaos_overhead(
             args.chaos_threshold, args.chaos_repeats)
         extra["chaos_overhead"] = chaos_times
+    stream_ok = True
+    if not args.skip_stream_overhead:
+        stream_ok, stream_times = check_stream_overhead(
+            args.stream_threshold, args.stream_repeats)
+        extra["stream_overhead"] = stream_times
     fabric_ok = True
     if not args.skip_fabric_bench:
         fabric_ok, fabric_metrics = measure_fabric_benchmark(
@@ -679,7 +787,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             record_extra_metrics(out_path, extra)
             return 1
     record_extra_metrics(out_path, extra)
-    if not sched_ok or not chaos_ok or not fabric_ok:
+    if not sched_ok or not chaos_ok or not stream_ok or not fabric_ok:
         return 1
     if not args.skip_trace_overhead:
         if not check_trace_overhead(args.trace_threshold, args.trace_repeats):

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate the instrumentation-point catalog in docs/OBSERVABILITY.md.
+
+The tables between the ``BEGIN/END GENERATED CATALOG`` markers are the
+rendered form of ``repro.telemetry.points.CATALOG``
+(:func:`render_catalog_markdown`); ``tests/telemetry/test_points_docs.py``
+fails whenever they drift from the code.  After adding or editing an
+instrumentation point:
+
+    python scripts/gen_catalog.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.telemetry.points import render_catalog_markdown  # noqa: E402
+
+DOC = ROOT / "docs" / "OBSERVABILITY.md"
+BEGIN = "<!-- BEGIN GENERATED CATALOG (python scripts/gen_catalog.py) -->\n"
+END = "<!-- END GENERATED CATALOG -->\n"
+
+
+def regenerate(text: str) -> str:
+    """``text`` with the marked block replaced by a fresh rendering."""
+    start = text.index(BEGIN) + len(BEGIN)
+    end = text.index(END)
+    return text[:start] + render_catalog_markdown() + text[end:]
+
+
+def main() -> int:
+    old = DOC.read_text(encoding="utf-8")
+    new = regenerate(old)
+    if new == old:
+        print(f"{DOC.relative_to(ROOT)}: catalog already current")
+        return 0
+    DOC.write_text(new, encoding="utf-8")
+    print(f"{DOC.relative_to(ROOT)}: catalog regenerated")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,14 @@ dump, ``--timeline`` per-connection tcptrace-style series, and
 ``--profile`` the engine's "where did the time go" table.  Any of these
 flags disables the result cache for the run (cache hits produce no
 telemetry).
+
+Live streaming (docs/OBSERVABILITY.md, "Live streaming & replay"):
+``--serve [HOST:PORT]`` starts the observer dashboard and streams the
+run over SSE while it executes; ``--record RUN.reprorun`` persists the
+same stream into a replayable bundle; ``--replay RUN.reprorun`` prints
+a recorded bundle's summary, or serves it for scrubbing when combined
+with ``--serve``.  Streaming implies metrics+trace collection and
+bypasses the result cache (a cache hit would produce no stream).
 """
 
 from __future__ import annotations
@@ -84,11 +92,90 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="append the engine self-profile ('where did "
                              "the time go') to each report")
+    parser.add_argument("--serve", nargs="?", const="127.0.0.1:0",
+                        default=None, metavar="HOST:PORT",
+                        help="serve the live observer dashboard (SSE) while "
+                             "experiments run, or a recorded bundle with "
+                             "--replay (default bind: 127.0.0.1, ephemeral "
+                             "port)")
+    parser.add_argument("--record", type=pathlib.Path, default=None,
+                        metavar="RUN.reprorun",
+                        help="record the telemetry stream into a replayable "
+                             ".reprorun bundle directory")
+    parser.add_argument("--replay", type=pathlib.Path, default=None,
+                        metavar="RUN.reprorun",
+                        help="load a recorded bundle: print its summary, or "
+                             "serve it for scrubbing with --serve")
     parser.add_argument("--cache-stats", action="store_true",
                         help="print result-cache statistics and exit")
     parser.add_argument("--clear-cache", action="store_true",
                         help="empty the result cache and exit")
     return parser
+
+
+def _parse_serve(value: str):
+    """``HOST:PORT``/``:PORT``/``PORT`` -> (host, port)."""
+    host, _, port = value.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        return host, int(port or "0")
+    except ValueError:
+        raise ConfigError(f"--serve expects HOST:PORT, got {value!r}")
+
+
+def _hold_serving(server) -> None:
+    """Keep the observer up until Ctrl-C (interactive sessions, or
+    ``REPRO_SERVE_HOLD=1``; non-tty runs fall through so scripted
+    invocations terminate)."""
+    import os
+    hold = os.environ.get("REPRO_SERVE_HOLD")
+    if hold is not None:
+        want = hold not in ("0", "")
+    else:
+        want = sys.stdin.isatty()
+    if not want:
+        return
+    print("observer serving — Ctrl-C to exit", file=sys.stderr)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+
+
+def _replay_bundle(args, serve_addr) -> int:
+    """``--replay``: print a bundle summary, or serve it for scrubbing."""
+    from repro.telemetry import load_bundle
+    try:
+        bundle = load_bundle(args.replay)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if serve_addr is None:
+        s = bundle.summary()
+        kinds = ", ".join(f"{k}:{n}" for k, n in sorted(s["kinds"].items()))
+        print(f"bundle {args.replay} ({s['format']})")
+        print(f"  events: {s['event_count']} ({kinds})")
+        if s["experiments"]:
+            print(f"  experiments: {', '.join(s['experiments'])}")
+        print(f"  chaos events: {s['chaos_events']}")
+        if s["first_time"] is not None:
+            print(f"  sim time: {s['first_time']:.6f}s .. "
+                  f"{s['last_time']:.6f}s")
+        top = sorted(s["trace_points"].items(), key=lambda kv: -kv[1])[:8]
+        for point, count in top:
+            print(f"    {point:<24} {count}")
+        return 0
+    from repro.serve import ObserverServer
+    server = ObserverServer(bundle=bundle, host=serve_addr[0],
+                            port=serve_addr[1],
+                            meta={"bundle": str(args.replay)})
+    server.start()
+    print(f"observer (replay): {server.url}", file=sys.stderr)
+    _hold_serving(server)
+    server.stop()
+    return 0
 
 
 def main(argv: List[str] = None) -> int:
@@ -113,6 +200,14 @@ def main(argv: List[str] = None) -> int:
         except ConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    try:
+        serve_addr = (_parse_serve(args.serve)
+                      if args.serve is not None else None)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.replay is not None:
+        return _replay_bundle(args, serve_addr)
     names = args.experiments
     if not names:
         build_parser().print_help()
@@ -128,7 +223,9 @@ def main(argv: List[str] = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
     want_events = (args.trace is not None or args.trace_jsonl is not None
                    or args.timeline is not None)
-    telemetry_on = want_events or args.metrics or args.profile
+    streaming = serve_addr is not None or args.record is not None
+    telemetry_on = (want_events or args.metrics or args.profile
+                    or streaming)
     if args.chaos is not None:
         from repro.chaos import FaultPlan, chaos_session
         try:
@@ -141,23 +238,57 @@ def main(argv: List[str] = None) -> int:
         import contextlib
         chaos_cm = contextlib.nullcontext()
     all_events = []
-    with chaos_cm:
-        return _run_experiments(args, names, telemetry_on, want_events,
-                                all_events)
+    bus = recorder = server = None
+    if streaming:
+        from repro.telemetry import RunRecorder, TelemetryBus
+        bus = TelemetryBus()
+        if args.record is not None:
+            try:
+                recorder = RunRecorder(bus, args.record)
+            except Exception as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        if serve_addr is not None:
+            from repro.serve import ObserverServer
+            server = ObserverServer(bus=bus, host=serve_addr[0],
+                                    port=serve_addr[1],
+                                    meta={"experiments": " ".join(names)})
+            server.start()
+            print(f"observer: {server.url}", file=sys.stderr)
+    try:
+        with chaos_cm:
+            rc = _run_experiments(args, names, telemetry_on, want_events,
+                                  all_events, bus)
+    finally:
+        if recorder is not None:
+            bundle = recorder.close()
+            print(f"recorded {bundle.event_count} events into "
+                  f"{args.record}", file=sys.stderr)
+    if server is not None:
+        _hold_serving(server)
+        server.stop()
+    return rc
 
 
 def _run_experiments(args, names, telemetry_on, want_events,
-                     all_events) -> int:
+                     all_events, bus=None) -> int:
     for name in names:
         start = time.time()
         if telemetry_on:
             from repro.telemetry import (format_metrics_table,
                                          telemetry_session)
-            with telemetry_session(metrics=args.metrics or want_events,
-                                   trace=want_events,
-                                   profile=args.profile) as session:
+            if bus is not None:
+                bus.publish_meta("run_start", experiment=name)
+            with telemetry_session(metrics=(args.metrics or want_events
+                                            or bus is not None),
+                                   trace=want_events or bus is not None,
+                                   profile=args.profile,
+                                   bus=bus) as session:
                 output = run_experiment(name, quick=not args.full,
                                         jobs=args.jobs, cache=False)
+            if bus is not None:
+                bus.publish_meta("run_end", experiment=name,
+                                 elapsed_s=time.time() - start)
             extra = []
             if args.metrics:
                 extra.append(format_metrics_table(

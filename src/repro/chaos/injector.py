@@ -35,7 +35,7 @@ from repro.chaos.taps import SinkTap
 from repro.errors import ChaosError
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceBuffer
-from repro.telemetry.session import active_metrics, register_trace
+from repro.telemetry.session import active_bus, active_metrics, register_trace
 
 __all__ = ["ArmedFault", "ChaosInjector", "ChaosSession", "chaos_session"]
 
@@ -100,6 +100,10 @@ class ChaosInjector:
         self._streams = RngStreams(plan.seed)
         self.trace = TraceBuffer()
         register_trace("chaos", self.trace)
+        # Live streaming: arm/fire/recover land on the bus the moment
+        # they happen, independent of trace collection cadence — chaos
+        # windows are exactly what an observer is watching for.
+        self._bus = active_bus()
         metrics = active_metrics()
         self._c_fired = (metrics.counter("chaos.faults.fired")
                          if metrics is not None else None)
@@ -108,6 +112,8 @@ class ChaosInjector:
         self.armed: List[ArmedFault] = [
             ArmedFault(i, spec, self._streams.get(f"fault{i}"))
             for i, spec in enumerate(plan.faults)]
+        self._publish("plan_armed", None, faults=len(self.armed),
+                      seed=plan.seed, fingerprint=plan.fingerprint())
         self.unmatched: List[int] = []
         self._targets: List[Tuple[str, str, Any]] = []
         self._taps: Dict[int, SinkTap] = {}
@@ -120,6 +126,22 @@ class ChaosInjector:
             env.schedule_call_at(start, self._fire, armed)
             env.schedule_call_at(max(start, armed.spec.end_s),
                                  self._recover, armed)
+
+    def _publish(self, event: str, armed: Optional[ArmedFault],
+                 **fields: Any) -> None:
+        """Publish one chaos lifecycle event onto the live bus (no-op
+        without an active bus or consumers)."""
+        bus = self._bus
+        if bus is None:
+            return
+        payload: Dict[str, Any] = {"event": event, "time": self.env.now}
+        if armed is not None:
+            spec = armed.spec
+            payload.update(fault=armed.index, fault_kind=spec.kind,
+                           target=spec.target, label=spec.label,
+                           start_s=spec.start_s, duration_s=spec.duration_s)
+        payload.update(fields)
+        bus.publish("chaos", payload)
 
     # -- target registry ------------------------------------------------------
     def register_target(self, category: str, name: str, obj: Any) -> None:
@@ -152,6 +174,7 @@ class ChaosInjector:
                 self.unmatched.append(armed.index)
                 self.trace.post(now, "chaos.unmatched", armed.index,
                                 kind=spec.kind, target=spec.target)
+                self._publish("unmatched", armed)
                 continue
             for category, name, obj in targets:
                 if category == "link":
@@ -172,6 +195,7 @@ class ChaosInjector:
             self.trace.post(now, "chaos.fault_armed", armed.index,
                             kind=spec.kind, target=spec.target,
                             matched=len(armed.matched))
+            self._publish("armed", armed, matched=list(armed.matched))
 
     def _tap_link(self, link, name: str) -> Optional[SinkTap]:
         tap = self._taps.get(id(link))
@@ -223,6 +247,7 @@ class ChaosInjector:
             self._c_fired.inc()
         self.trace.post(env.now, "chaos.fault_fired", armed.index,
                         kind=spec.kind, target=spec.target)
+        self._publish("fired", armed)
 
     def _steal(self, cpu, cost_s: float) -> None:
         cpu.timeline.charge(cost_s)
@@ -240,6 +265,8 @@ class ChaosInjector:
             self._c_recovered.inc()
         self.trace.post(self.env.now, "chaos.fault_recovered", armed.index,
                         kind=armed.spec.kind, target=armed.spec.target)
+        self._publish("recovered", armed, frames=armed.frames,
+                      drops=armed.drops, holds=armed.holds, dups=armed.dups)
 
     # -- reporting ------------------------------------------------------------
     def summary(self) -> List[Dict[str, Any]]:

@@ -1,0 +1,9 @@
+"""Serving layer: the live/replay run observer.
+
+``python -m repro --serve ...`` starts :class:`ObserverServer`; see
+docs/OBSERVABILITY.md ("Live streaming & replay") for the quickstart.
+"""
+
+from repro.serve.observer import DASHBOARD_PATH, ObserverServer
+
+__all__ = ["ObserverServer", "DASHBOARD_PATH"]

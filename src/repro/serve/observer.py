@@ -1,0 +1,297 @@
+"""Live run observer: a stdlib-only SSE/HTTP server over the bus.
+
+:class:`ObserverServer` exposes a running simulation (or a recorded
+``.reprorun`` bundle) to a browser:
+
+* ``GET /`` — the single-file dashboard
+  (``src/repro/serve/static/observer.html``): live goodput / cwnd /
+  queue-depth panels plus a scrub-and-replay chaos timeline;
+* ``GET /events`` — a Server-Sent-Events stream.  In **live** mode it
+  subscribes a bounded ring to the :class:`~repro.telemetry.stream.
+  TelemetryBus` and forwards events as they are published (each SSE
+  message carries ``id: <seq>``); in **replay** mode it streams the
+  recorded bundle once, then an ``event: end`` marker;
+* ``GET /bundle`` — every recorded event as one JSON array (replay
+  mode; drives the dashboard's scrubber);
+* ``GET /meta`` — run metadata and stream counters as JSON;
+* ``GET /healthz`` — liveness probe.
+
+Threading model: the asyncio loop runs on a dedicated daemon thread so
+the (synchronous) simulation keeps the main thread.  The only shared
+state is the bus subscription rings, whose ``deque`` append/popleft
+pairs are atomic — no locks cross the boundary.  Everything here is
+standard library (``asyncio`` + ``json``); there is nothing to
+install.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import threading
+from typing import Any, Dict, Optional
+
+from repro.errors import MeasurementError
+from repro.telemetry.stream import RunBundle, TelemetryBus
+
+__all__ = ["ObserverServer", "DASHBOARD_PATH"]
+
+#: The single-file dashboard served at ``/``.
+DASHBOARD_PATH = pathlib.Path(__file__).parent / "static" / "observer.html"
+
+_SSE_HEADERS = (b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-store\r\n"
+                b"Access-Control-Allow-Origin: *\r\n"
+                b"Connection: close\r\n\r\n")
+
+
+def _response(status: str, ctype: str, body: bytes) -> bytes:
+    head = (f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Cache-Control: no-store\r\n"
+            f"Access-Control-Allow-Origin: *\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def _json_response(obj: Any, status: str = "200 OK") -> bytes:
+    return _response(status, "application/json",
+                     json.dumps(obj, sort_keys=True).encode("utf-8"))
+
+
+class ObserverServer:
+    """Serves one run — live from a bus, or replayed from a bundle.
+
+    Exactly one of ``bus`` / ``bundle`` selects the mode (passing both
+    serves the live bus and the bundle's ``/bundle`` endpoint, which is
+    how ``--serve --replay`` works).  ``port=0`` binds an ephemeral
+    port; read :attr:`port` after :meth:`start` for the real one.
+    Usable as a context manager.
+    """
+
+    def __init__(self, bus: Optional[TelemetryBus] = None,
+                 bundle: Optional[RunBundle] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 meta: Optional[Dict[str, Any]] = None,
+                 poll_s: float = 0.05, keepalive_s: float = 15.0):
+        if bus is None and bundle is None:
+            raise MeasurementError(
+                "ObserverServer needs a bus (live) or a bundle (replay)")
+        self.bus = bus
+        self.bundle = bundle
+        self.host = host
+        self.port = port
+        self.meta = dict(meta or {})
+        self.poll_s = poll_s
+        self.keepalive_s = keepalive_s
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = False
+        self._start_error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def mode(self) -> str:
+        """``live`` when a bus is attached, else ``replay``."""
+        return "live" if self.bus is not None else "replay"
+
+    def start(self) -> "ObserverServer":
+        """Bind and serve on a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise MeasurementError("observer server already started")
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve_thread, args=(ready,),
+            name="repro-observer", daemon=True)
+        self._thread.start()
+        ready.wait(timeout=10.0)
+        if self._start_error is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            raise MeasurementError(
+                f"observer server failed to bind {self.host}:{self.port}: "
+                f"{self._start_error}")
+        if self._server is None:
+            raise MeasurementError("observer server did not start in time")
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        thread, loop = self._thread, self._loop
+        if thread is None or loop is None:
+            return
+        self._stopping = True
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "ObserverServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _serve_thread(self, ready: threading.Event) -> None:
+        loop = self._loop
+        assert loop is not None
+        asyncio.set_event_loop(loop)
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._handle, self.host, self.port))
+        except OSError as exc:
+            self._start_error = exc
+            ready.set()
+            loop.close()
+            return
+        self._server = server
+        self.port = server.sockets[0].getsockname()[1]
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.run_until_complete(server.wait_closed())
+            loop.close()
+
+    # -- request handling ---------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=10.0)
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                    asyncio.LimitOverrunError, ConnectionError):
+                return
+            parts = head.split(b"\r\n", 1)[0].decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0], parts[1]
+            path = target.split("?", 1)[0]
+            if method != "GET":
+                writer.write(_response("405 Method Not Allowed",
+                                       "text/plain", b"GET only\n"))
+            elif path in ("/", "/index.html"):
+                writer.write(_response(
+                    "200 OK", "text/html; charset=utf-8",
+                    DASHBOARD_PATH.read_bytes()))
+            elif path == "/healthz":
+                writer.write(_response("200 OK", "text/plain", b"ok\n"))
+            elif path == "/meta":
+                writer.write(_json_response(self._meta_payload()))
+            elif path == "/bundle":
+                if self.bundle is None:
+                    writer.write(_json_response(
+                        {"error": "no bundle attached (live mode)"},
+                        "404 Not Found"))
+                else:
+                    writer.write(_json_response(self.bundle.events()))
+            elif path == "/events":
+                await self._stream_events(writer)
+                return  # _stream_events owns the connection teardown
+            else:
+                writer.write(_response("404 Not Found", "text/plain",
+                                       b"not found\n"))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _meta_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"mode": self.mode, "meta": self.meta}
+        if self.bus is not None:
+            payload["last_seq"] = self.bus.last_seq
+            payload["published"] = self.bus.published
+        if self.bundle is not None:
+            payload["bundle"] = {
+                "path": str(self.bundle.path),
+                "event_count": self.bundle.event_count,
+                "meta": self.bundle.meta,
+            }
+        return payload
+
+    # -- SSE ----------------------------------------------------------------
+    async def _stream_events(self, writer: asyncio.StreamWriter) -> None:
+        writer.write(_SSE_HEADERS)
+        await writer.drain()
+        try:
+            if self.bus is not None:
+                await self._sse_live(writer)
+            else:
+                await self._sse_replay(writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    @staticmethod
+    def _sse_frame(event: Dict[str, Any]) -> str:
+        return (f"id: {event.get('seq', 0)}\n"
+                f"data: {json.dumps(event, sort_keys=True)}\n\n")
+
+    async def _sse_live(self, writer: asyncio.StreamWriter) -> None:
+        assert self.bus is not None
+        sub = self.bus.subscribe("sse")
+        reported_drops = 0
+        idle_s = 0.0
+        try:
+            while not self._stopping:
+                batch = sub.drain(1000)
+                if batch:
+                    idle_s = 0.0
+                    frames = [self._sse_frame(ev) for ev in batch]
+                    if sub.dropped > reported_drops:
+                        # The ring shed events while this client lagged;
+                        # tell it exactly how many so it can resync.
+                        frames.append(
+                            "event: dropped\ndata: "
+                            + json.dumps({"dropped": sub.dropped}) + "\n\n")
+                        reported_drops = sub.dropped
+                    writer.write("".join(frames).encode("utf-8"))
+                    await writer.drain()
+                else:
+                    idle_s += self.poll_s
+                    if idle_s >= self.keepalive_s:
+                        idle_s = 0.0
+                        writer.write(b": keepalive\n\n")
+                        await writer.drain()
+                    await asyncio.sleep(self.poll_s)
+        finally:
+            sub.close()
+
+    async def _sse_replay(self, writer: asyncio.StreamWriter) -> None:
+        assert self.bundle is not None
+        pending = []
+        for event in self.bundle.iter_events():
+            pending.append(self._sse_frame(event))
+            if len(pending) >= 500:
+                writer.write("".join(pending).encode("utf-8"))
+                pending.clear()
+                await writer.drain()
+        pending.append("event: end\ndata: {}\n\n")
+        writer.write("".join(pending).encode("utf-8"))
+        await writer.drain()

@@ -233,12 +233,22 @@ class PeriodicCall:
     the hybrid mode's fluid coupling tick.  Each firing schedules the
     next through the pooled callback path, so a periodic call costs one
     recycled event per tick and never retains a fired event.
+
+    With ``while_pending=True`` the call re-arms only while *other*
+    events are still pending after it fires, so a drain-mode
+    ``run()`` still terminates: once the periodic call would be the
+    sole thing keeping the queue alive, it stops.  Nothing can wake a
+    drained DES except its own events, so stopping then loses no
+    coverage — this is how the live-telemetry heartbeat rides along
+    without turning every run into an infinite loop.
     """
 
-    __slots__ = ("env", "interval", "fn", "args", "fires", "_active")
+    __slots__ = ("env", "interval", "fn", "args", "fires", "while_pending",
+                 "_active")
 
     def __init__(self, env: "Environment", interval: float,
-                 fn: Callable[..., None], args: tuple):
+                 fn: Callable[..., None], args: tuple,
+                 while_pending: bool = False):
         if interval <= 0:
             raise ScheduleInPastError(
                 f"periodic interval must be positive: {interval!r}")
@@ -247,6 +257,7 @@ class PeriodicCall:
         self.fn = fn
         self.args = args
         self.fires = 0
+        self.while_pending = while_pending
         self._active = True
         env.schedule_call(interval, self._fire)
 
@@ -255,7 +266,8 @@ class PeriodicCall:
             return
         self.fires += 1
         self.fn(*self.args)
-        if self._active:
+        if self._active and not (self.while_pending
+                                 and not self.env.pending_count()):
             self.env.schedule_call(self.interval, self._fire)
 
     def cancel(self) -> None:
@@ -702,13 +714,16 @@ class Environment:
         return ev
 
     def every(self, interval: float, fn: Callable[..., None],
-              *args: Any) -> PeriodicCall:
+              *args: Any, while_pending: bool = False) -> PeriodicCall:
         """Call ``fn(*args)`` every ``interval`` seconds until cancelled.
 
         The first firing happens at ``now + interval``.  Returns the
         :class:`PeriodicCall` handle; call its :meth:`~PeriodicCall.cancel`
-        to stop the ticking."""
-        return PeriodicCall(self, interval, fn, args)
+        to stop the ticking.  ``while_pending=True`` makes the call
+        self-terminating: it re-arms only while other events remain
+        pending, so drain-mode runs still finish."""
+        return PeriodicCall(self, interval, fn, args,
+                            while_pending=while_pending)
 
     # -- engine internals ---------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:

@@ -14,9 +14,10 @@ Layer prefixes mirror the source tree: ``pcix``/``mch``/``nic``/``irq``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
-__all__ = ["InstrumentationPoint", "CATALOG", "layer_of"]
+__all__ = ["InstrumentationPoint", "CATALOG", "layer_of", "LAYER_TITLES",
+           "catalog_by_layer", "render_catalog_markdown"]
 
 
 @dataclass(frozen=True)
@@ -121,3 +122,48 @@ def layer_of(point: str) -> str:
     if entry is not None:
         return entry.layer
     return point.split(".", 1)[0]
+
+
+#: Layer key -> user-facing section title, in documentation order.
+LAYER_TITLES: Tuple[Tuple[str, str], ...] = (
+    ("hw", "Hardware"),
+    ("sim", "Simulation engine"),
+    ("oskernel", "Kernel boundary"),
+    ("tcp", "TCP"),
+    ("net", "Network"),
+    ("chaos", "Chaos engine"),
+)
+
+
+def catalog_by_layer() -> Dict[str, List[InstrumentationPoint]]:
+    """Catalog entries grouped by layer, preserving catalog order."""
+    grouped: Dict[str, List[InstrumentationPoint]] = {
+        layer: [] for layer, _ in LAYER_TITLES}
+    for point in CATALOG.values():
+        grouped.setdefault(point.layer, []).append(point)
+    return grouped
+
+
+def render_catalog_markdown() -> str:
+    """The instrumentation-point reference as markdown tables.
+
+    ``docs/OBSERVABILITY.md`` embeds exactly this text between its
+    ``BEGIN/END GENERATED CATALOG`` markers; a unit test diffs the two,
+    so the catalog and its documentation can never drift apart again.
+    Multi-line descriptions collapse to one line for table cells.
+    """
+    grouped = catalog_by_layer()
+    known = {layer for layer, _ in LAYER_TITLES}
+    stray = sorted({p.layer for p in CATALOG.values()} - known)
+    if stray:  # a new layer must be given a documented title first
+        raise ValueError(f"layers missing from LAYER_TITLES: {stray}")
+    sections = []
+    for layer, title in LAYER_TITLES:
+        points = grouped[layer]
+        lines = [f"#### {title} ({len(points)})", "",
+                 "| point | fires when |", "|---|---|"]
+        for point in points:
+            desc = " ".join(point.description.split())
+            lines.append(f"| `{point.name}` | {desc} |")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections) + "\n"

@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import MeasurementError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "merge_snapshots", "format_metrics_table"]
+           "merge_snapshots", "diff_snapshots", "format_metrics_table"]
 
 #: Default histogram bucket upper bounds (powers of two: batch sizes,
 #: burst counts and queue depths all live comfortably on this grid).
@@ -227,6 +227,25 @@ def merge_snapshots(snapshots: Sequence[List[Dict[str, Any]]]
     for snap in snapshots:
         combined.merge_snapshot(snap)
     return combined.snapshot()
+
+
+def diff_snapshots(old: Sequence[Dict[str, Any]],
+                   new: Sequence[Dict[str, Any]]
+                   ) -> List[Dict[str, Any]]:
+    """The series in ``new`` that are absent from ``old`` or changed.
+
+    Entries compare by ``(name, labels)`` identity and by their
+    ``data`` payload, so an untouched series costs one dict lookup and
+    one equality test.  This is the delta the live streaming tap ships
+    each heartbeat instead of re-sending the whole registry (see
+    :mod:`repro.telemetry.stream`); snapshots are already sorted, so
+    the returned delta is deterministic too.
+    """
+    if not old:
+        return list(new)
+    index = {(e["name"], _label_key(e["labels"])): e["data"] for e in old}
+    return [e for e in new
+            if index.get((e["name"], _label_key(e["labels"]))) != e["data"]]
 
 
 def _fmt_value(v: float) -> str:

@@ -1,0 +1,202 @@
+"""Observer server: routes, SSE framing, live and replay modes."""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.serve import DASHBOARD_PATH, ObserverServer
+from repro.telemetry import RunRecorder, TelemetryBus
+
+
+def get(port, path, timeout=10):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    conn.request("GET", path)
+    resp = conn.getresponse()
+    body = resp.read()
+    conn.close()
+    return resp.status, resp.getheader("Content-Type"), body
+
+
+@pytest.fixture()
+def live():
+    bus = TelemetryBus()
+    with ObserverServer(bus=bus, meta={"experiments": "t"}) as server:
+        yield bus, server
+
+
+@pytest.fixture()
+def replay(tmp_path):
+    bus = TelemetryBus()
+    rec = RunRecorder(bus, tmp_path / "run.reprorun")
+    bus.publish_meta("run_start", experiment="t")
+    for i in range(5):
+        bus.publish("trace", {"track": "hostA", "time": i * 0.25,
+                              "point": "tcp.tx.segment", "subject": i,
+                              "detail": {}})
+    bus.publish_meta("run_end", experiment="t")
+    bundle = rec.close()
+    with ObserverServer(bundle=bundle) as server:
+        yield bundle, server
+
+
+class TestConstruction:
+    def test_requires_bus_or_bundle(self):
+        with pytest.raises(MeasurementError, match="bus.*or.*bundle"):
+            ObserverServer()
+
+    def test_dashboard_file_exists(self):
+        html = DASHBOARD_PATH.read_text(encoding="utf-8")
+        assert "repro observer" in html
+        assert "EventSource" in html       # live mode wiring
+        assert "/bundle" in html           # replay scrubber wiring
+
+    def test_ephemeral_port_resolved(self, live):
+        _, server = live
+        assert server.port != 0
+        assert str(server.port) in server.url
+
+    def test_double_start_rejected(self, live):
+        _, server = live
+        with pytest.raises(MeasurementError, match="already started"):
+            server.start()
+
+    def test_stop_is_idempotent(self):
+        bus = TelemetryBus()
+        server = ObserverServer(bus=bus).start()
+        server.stop()
+        server.stop()
+
+
+class TestRoutes:
+    def test_dashboard_served_at_root(self, live):
+        _, server = live
+        status, ctype, body = get(server.port, "/")
+        assert status == 200 and "text/html" in ctype
+        assert b"repro observer" in body
+
+    def test_healthz(self, live):
+        _, server = live
+        assert get(server.port, "/healthz")[::2] == (200, b"ok\n")
+
+    def test_meta_live(self, live):
+        bus, server = live
+        status, _, body = get(server.port, "/meta")
+        meta = json.loads(body)
+        assert status == 200
+        assert meta["mode"] == "live"
+        assert meta["meta"] == {"experiments": "t"}
+        assert "last_seq" in meta and "bundle" not in meta
+
+    def test_unknown_path_404(self, live):
+        _, server = live
+        assert get(server.port, "/nope")[0] == 404
+
+    def test_bundle_404_in_live_mode(self, live):
+        _, server = live
+        assert get(server.port, "/bundle")[0] == 404
+
+    def test_non_get_rejected(self, live):
+        _, server = live
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=10)
+        conn.request("POST", "/", body="{}")
+        assert conn.getresponse().status == 405
+        conn.close()
+
+
+class TestReplayMode:
+    def test_meta_reports_bundle(self, replay):
+        bundle, server = replay
+        meta = json.loads(get(server.port, "/meta")[2])
+        assert meta["mode"] == "replay"
+        assert meta["bundle"]["event_count"] == bundle.event_count
+
+    def test_bundle_endpoint_returns_all_events(self, replay):
+        bundle, server = replay
+        events = json.loads(get(server.port, "/bundle")[2])
+        assert len(events) == bundle.event_count
+        assert events == bundle.events()
+
+    def test_sse_replay_streams_then_ends(self, replay):
+        bundle, server = replay
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=10)
+        conn.request("GET", "/events")
+        resp = conn.getresponse()
+        assert "text/event-stream" in resp.getheader("Content-Type")
+        body = resp.read().decode("utf-8")  # server closes after "end"
+        conn.close()
+        frames = [f for f in body.split("\n\n") if f]
+        datas = [json.loads(line[len("data: "):])
+                 for f in frames for line in f.split("\n")
+                 if line.startswith("data: ") and "event: end" not in f]
+        assert len(datas) == bundle.event_count
+        assert [d["seq"] for d in datas] == list(range(1, 8))
+        assert "event: end" in body
+
+
+class TestLiveSse:
+    def test_events_stream_with_id_framing(self, live):
+        bus, server = live
+        received = []
+        got_two = threading.Event()
+
+        def reader():
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=15)
+            conn.request("GET", "/events")
+            resp = conn.getresponse()
+            buf = b""
+            while not got_two.is_set():
+                chunk = resp.read1(65536)
+                if not chunk:
+                    break
+                buf += chunk
+                while b"\n\n" in buf:
+                    frame, buf = buf.split(b"\n\n", 1)
+                    entry = {}
+                    for line in frame.split(b"\n"):
+                        if line.startswith(b"id: "):
+                            entry["id"] = int(line[4:])
+                        elif line.startswith(b"data: "):
+                            entry["data"] = json.loads(line[6:])
+                    if entry:
+                        received.append(entry)
+                if len(received) >= 2:
+                    got_two.set()
+            conn.close()
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        deadline = time.time() + 10
+        while not bus.has_consumers and time.time() < deadline:
+            time.sleep(0.02)
+        assert bus.has_consumers, "SSE subscription never attached"
+        bus.publish("trace", {"point": "a", "time": 0.0})
+        bus.publish("heartbeat", {"time": 1.0})
+        assert got_two.wait(timeout=10), "SSE events not delivered"
+        t.join(timeout=10)
+        assert received[0]["id"] == received[0]["data"]["seq"] == 1
+        assert received[1]["data"]["kind"] == "heartbeat"
+
+    def test_subscription_detached_after_disconnect(self, live):
+        bus, server = live
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=10)
+        conn.request("GET", "/events")
+        conn.getresponse()
+        deadline = time.time() + 10
+        while not bus.has_consumers and time.time() < deadline:
+            time.sleep(0.02)
+        assert bus.has_consumers
+        conn.close()
+        # the server notices on its next write attempt
+        deadline = time.time() + 10
+        while bus.has_consumers and time.time() < deadline:
+            bus.publish("trace", {"i": 0})
+            time.sleep(0.05)
+        assert not bus.has_consumers

@@ -41,6 +41,68 @@ class TestJsonl:
             rec = json.loads(line)
             assert set(rec) == {"track", "time", "point", "subject", "detail"}
 
+    def test_detail_key_order_survives_round_trip(self, tmp_path):
+        """Record keys are sorted on disk, but the parsed detail dict
+        must iterate in the original insertion order — downstream
+        consumers (timelines, the dashboard) index by key, and the
+        tuples must compare equal to the originals."""
+        detail = {"zeta": 1, "alpha": 2, "mid": 3}
+        events = [("t", 0.5, "tcp.tx.segment", "s", dict(detail))]
+        path = tmp_path / "order.jsonl"
+        write_jsonl(events, path)
+        (back,) = read_jsonl(path)
+        assert back == events[0]
+        assert json.loads(path.read_text())["detail"] == detail
+
+    def test_float_precision_is_exact(self, tmp_path):
+        """Times and float details round-trip bit-exactly (json uses
+        repr, which is shortest-round-trip in Python 3)."""
+        tricky = [0.1, 1 / 3, 1e-9, 123456789.123456789, 2**53 - 1.0,
+                  3.636363636363636e-07, 5e-324]
+        events = [("t", t, "tcp.rx.deliver", "s", {"v": t, "neg": -t})
+                  for t in tricky]
+        path = tmp_path / "floats.jsonl"
+        write_jsonl(events, path)
+        back = read_jsonl(path)
+        for (orig, got) in zip(events, back):
+            assert got[1] == orig[1]
+            assert got[4]["v"].hex() == orig[4]["v"].hex()
+            assert got[4]["neg"].hex() == orig[4]["neg"].hex()
+
+    def test_int_float_distinction_preserved(self, tmp_path):
+        events = [("t", 0.0, "tcp.tx.segment", "s",
+                   {"count": 3, "ratio": 3.0})]
+        path = tmp_path / "types.jsonl"
+        write_jsonl(events, path)
+        (back,) = read_jsonl(path)
+        assert isinstance(back[4]["count"], int)
+        assert isinstance(back[4]["ratio"], float)
+
+    def test_unicode_and_null_subjects(self, tmp_path):
+        events = [("t", 0.0, "tcp.tx.segment", None, {"note": "héllo\n→"}),
+                  ("t", 0.1, "tcp.tx.segment", "π", {})]
+        path = tmp_path / "uni.jsonl"
+        write_jsonl(events, path)
+        assert read_jsonl(path) == events
+
+    def test_session_dropped_counts_survive_export(self, tmp_path):
+        """Trace-ring overruns recorded by a session are not part of the
+        jsonl event stream — they ride the session payload — but the
+        events that *did* survive the ring round-trip losslessly."""
+        from repro.sim.trace import TraceBuffer
+        from repro.telemetry import register_trace, telemetry_session
+        with telemetry_session(trace=True) as session:
+            buf = TraceBuffer(max_events=3)
+            register_trace("tiny", buf)
+            for i in range(8):
+                buf.post(float(i), "tcp.tx.segment", f"s{i}", len=i)
+            payload = session.export_payload()
+        assert payload["trace_dropped"] == {"tiny": 5}
+        path = tmp_path / "dropped.jsonl"
+        assert write_jsonl(payload["events"], path) == 3
+        assert read_jsonl(path) == payload["events"]
+        assert [e[4]["len"] for e in read_jsonl(path)] == [5, 6, 7]
+
 
 #: Minimal JSON schema for the Chrome trace_event "JSON object format":
 #: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU

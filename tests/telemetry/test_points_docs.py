@@ -1,0 +1,54 @@
+"""Docs/catalog sync: the generated tables must match the code."""
+
+import pathlib
+
+from repro.telemetry.points import (
+    CATALOG,
+    LAYER_TITLES,
+    catalog_by_layer,
+    render_catalog_markdown,
+)
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+BEGIN = "<!-- BEGIN GENERATED CATALOG (python scripts/gen_catalog.py) -->\n"
+END = "<!-- END GENERATED CATALOG -->"
+
+
+class TestRenderer:
+    def test_every_point_rendered_exactly_once(self):
+        text = render_catalog_markdown()
+        for name in CATALOG:
+            assert text.count(f"| `{name}` |") == 1
+
+    def test_layer_counts_in_headings(self):
+        text = render_catalog_markdown()
+        grouped = catalog_by_layer()
+        for layer, title in LAYER_TITLES:
+            assert f"#### {title} ({len(grouped[layer])})" in text
+
+    def test_every_layer_has_a_title(self):
+        known = {layer for layer, _ in LAYER_TITLES}
+        assert {p.layer for p in CATALOG.values()} <= known
+
+    def test_descriptions_collapse_to_single_lines(self):
+        for line in render_catalog_markdown().splitlines():
+            if line.startswith("| `"):
+                assert line.count("|") == 3  # point | description | end
+
+
+class TestDocSync:
+    def test_markers_present(self):
+        text = DOC.read_text(encoding="utf-8")
+        assert BEGIN in text and END in text
+
+    def test_docs_match_generated_catalog(self):
+        """docs/OBSERVABILITY.md embeds exactly render_catalog_markdown()
+        between the markers — run ``python scripts/gen_catalog.py`` when
+        this fails."""
+        text = DOC.read_text(encoding="utf-8")
+        start = text.index(BEGIN) + len(BEGIN)
+        end = text.index(END)
+        assert text[start:end] == render_catalog_markdown(), (
+            "docs/OBSERVABILITY.md catalog drifted from "
+            "repro.telemetry.points; regenerate with "
+            "`python scripts/gen_catalog.py`")

@@ -106,7 +106,8 @@ class TestCollection:
         session, _ = self._session_with_events()
         session.registry.counter("c").inc()
         payload = session.export_payload()
-        assert set(payload) == {"events", "metrics", "profile"}
+        assert set(payload) == {"events", "metrics", "profile",
+                                "trace_dropped", "streamed"}
         assert len(payload["events"]) == 1
         assert payload["metrics"][0]["name"] == "c"
         assert payload["profile"] is None
@@ -119,6 +120,61 @@ class TestCollection:
         parent.absorb(worker.export_payload(), prefix="pt[0]/")
         assert parent.events[0][0] == "pt[0]/hostA"
         assert parent.registry.counter("c").value == 3
+
+
+class TestAbsorbMultiWorker:
+    """Parent-side aggregation of several prefixed worker payloads —
+    the shape a parallel sweep produces."""
+
+    def _worker_payload(self, host, n_events, drop_all_but=None):
+        session = TelemetrySession(trace=True)
+        buf = (TraceBuffer() if drop_all_but is None
+               else TraceBuffer(max_events=drop_all_but))
+        session.add_track(host, buf)
+        for i in range(n_events):
+            buf.post(i * 0.25, "tcp.tx.segment", f"skb{i}", seq=i)
+        session.registry.counter("tcp.tx.segments", host=host).inc(n_events)
+        return session.export_payload()
+
+    def test_events_keep_worker_order_under_prefixes(self):
+        parent = TelemetrySession(trace=True)
+        for i, host in enumerate(("hostA", "hostB")):
+            parent.absorb(self._worker_payload(host, 3), prefix=f"pt[{i}]/")
+        tracks = [ev[0] for ev in parent.events]
+        assert tracks == ["pt[0]/hostA"] * 3 + ["pt[1]/hostB"] * 3
+        assert [ev[4]["seq"] for ev in parent.events] == [0, 1, 2, 0, 1, 2]
+
+    def test_metrics_merge_across_workers(self):
+        parent = TelemetrySession(trace=True)
+        parent.absorb(self._worker_payload("hostA", 4), prefix="pt[0]/")
+        parent.absorb(self._worker_payload("hostA", 2), prefix="pt[1]/")
+        # same (name, labels) series: counters add across workers
+        assert parent.registry.counter(
+            "tcp.tx.segments", host="hostA").value == 6
+
+    def test_trace_dropped_accumulates_under_prefixed_tracks(self):
+        parent = TelemetrySession(trace=True)
+        parent.absorb(self._worker_payload("hostA", 8, drop_all_but=3),
+                      prefix="pt[0]/")
+        parent.absorb(self._worker_payload("hostA", 6, drop_all_but=3),
+                      prefix="pt[1]/")
+        assert parent.trace_dropped == {"pt[0]/hostA": 5, "pt[1]/hostA": 3}
+        gauges = {e["labels"]["track"]: e["data"]["value"]
+                  for e in parent.registry.snapshot()
+                  if e["name"] == "telemetry.trace_dropped"}
+        assert gauges == {"pt[0]/hostA": 5, "pt[1]/hostA": 3}
+
+    def test_absorbed_payload_round_trips_through_reexport(self):
+        """A mid-tier session can absorb workers and re-export for its
+        own parent without losing events or drop counts."""
+        mid = TelemetrySession(trace=True)
+        mid.absorb(self._worker_payload("hostA", 2, drop_all_but=1),
+                   prefix="pt[0]/")
+        payload = mid.export_payload()
+        top = TelemetrySession(trace=True)
+        top.absorb(payload, prefix="w0/")
+        assert [ev[0] for ev in top.events] == ["w0/pt[0]/hostA"]
+        assert top.trace_dropped == {"w0/pt[0]/hostA": 1}
 
 
 class TestCatalog:
