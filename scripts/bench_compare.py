@@ -29,6 +29,12 @@ all, measured on the reference transfer and recorded under
 ``repro_metrics.stream_overhead`` (``--stream-overhead-only`` runs
 just this gate).
 
+The result cache has a warm/cold gate too (``--cache-only`` runs just
+this): the Fig. 3 quick sweep against a throwaway cache directory must
+run at least ``--cache-speedup`` (default 10x) faster warm than cold,
+produce bit-identical data, and the per-entry disk-tier ``get()`` p50
+is recorded (under ``repro_metrics.cache``).
+
 Beyond the pytest-benchmark suite the script also records simulator
 metrics into the archived JSON (under ``repro_metrics``):
 
@@ -596,6 +602,100 @@ def measure_fabric_benchmark(threshold: float,
     return ok, metrics
 
 
+def measure_cache_bench(speedup_gate: float,
+                        repeats: int = 2) -> tuple:
+    """Warm/cold result-cache gate on the Fig. 3 quick sweep.
+
+    Runs ``fig3`` (quick) in fresh subprocesses against a throwaway
+    cache directory: once cold (every point computed and stored), then
+    warm (every point — and the whole experiment output — answered from
+    the sharded store).  Three checks, returned as ``(ok, metrics)``:
+
+    - **speedup** — the warm run must be at least ``speedup_gate``
+      times faster than the cold one (best-of-``repeats`` warm rounds);
+    - **bit-identity** — warm and cold runs must hash to the same
+      experiment data (a cache hit is indistinguishable from a
+      recompute);
+    - **warm p50 latency** — the per-entry disk-tier ``get()`` median,
+      measured over every key the sweep stored, using a fresh handle so
+      the in-process hot tier cannot flatter the number.
+    """
+    import statistics
+    import tempfile
+    from time import perf_counter
+
+    print("\nresult-cache bench (fig3 quick, cold vs warm):")
+    with tempfile.TemporaryDirectory(prefix="repro-cache-bench-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+
+        def run_once() -> Dict[str, object]:
+            env = dict(os.environ, REPRO_CACHE="1",
+                       REPRO_CACHE_DIR=cache_dir)
+            env["PYTHONPATH"] = (str(ROOT / "src") + os.pathsep
+                                 + os.environ.get("PYTHONPATH", ""))
+            proc = subprocess.run(
+                [sys.executable, "-c", _SWEEP_DRIVER, "fig3"],
+                cwd=ROOT, env=env, capture_output=True, text=True)
+            if proc.returncode != 0:
+                raise SystemExit(f"cache-bench run failed:\n"
+                                 f"{proc.stderr[-2000:]}")
+            return json.loads(proc.stdout)
+
+        cold = run_once()
+        warm_wall = float("inf")
+        warm_sha = None
+        for _ in range(repeats):
+            warm = run_once()
+            warm_wall = min(warm_wall, warm["wall"])
+            warm_sha = warm["sha"]
+
+        # honest per-entry latency: fresh handle, disk tier, every key
+        sys.path.insert(0, str(ROOT / "src"))
+        from repro.cache import ResultCache
+        store = ResultCache(cache_dir)
+        keys = store.keys()
+        latencies = []
+        for key in keys:
+            start = perf_counter()
+            hit, _ = store.get(key)
+            latencies.append(perf_counter() - start)
+            if not hit:
+                raise SystemExit(f"cache-bench: indexed key {key} did not "
+                                 f"read back")
+        p50_ms = statistics.median(latencies) * 1e3 if latencies else 0.0
+
+    speedup = cold["wall"] / warm_wall if warm_wall > 0 else float("inf")
+    identical = cold["sha"] == warm_sha
+    metrics = {
+        "experiment": "fig3 (quick)",
+        "cold_wall_s": cold["wall"],
+        "warm_wall_s": warm_wall,
+        "warm_speedup": speedup,
+        "bit_identical": identical,
+        "entries": float(len(keys)),
+        "warm_get_p50_ms": p50_ms,
+    }
+    print(f"  cold          {cold['wall']:>9.3f} s")
+    print(f"  warm          {warm_wall:>9.3f} s  (best of {repeats})")
+    print(f"  speedup       {speedup:>9.1f}x  (gate {speedup_gate:.0f}x)")
+    print(f"  entries       {len(keys):>9}")
+    print(f"  get() p50     {p50_ms:>9.3f} ms  (disk tier, fresh handle)")
+    ok = True
+    if not identical:
+        print("\nFAIL: warm fig3 data differs from the cold run — the "
+              "cache returned something the simulator would not have "
+              "computed.")
+        ok = False
+    if speedup < speedup_gate:
+        print(f"\nFAIL: warm sweep is only {speedup:.1f}x the cold one "
+              f"(gate {speedup_gate:.0f}x).")
+        ok = False
+    if ok:
+        print(f"OK: warm sweep {speedup:.1f}x cold, bit-identical, "
+              f"p50 get {p50_ms:.3f} ms.")
+    return ok, metrics
+
+
 def check_trace_overhead(threshold: float, repeats: int) -> bool:
     """Run the overhead bench and report; True when within threshold."""
     print(f"\ntracing-overhead bench (best of {repeats}):")
@@ -689,6 +789,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run only the fabric benchmark gate")
     parser.add_argument("--skip-fabric-bench", action="store_true",
                         help="skip the fabric benchmark")
+    parser.add_argument("--cache-speedup", type=float, default=10.0,
+                        help="minimum warm-over-cold speedup for the fig3 "
+                             "quick sweep on the result cache (default 10)")
+    parser.add_argument("--cache-only", action="store_true",
+                        help="run only the result-cache warm/cold gate")
+    parser.add_argument("--skip-cache-bench", action="store_true",
+                        help="skip the result-cache warm/cold gate")
     args = parser.parse_args(argv)
 
     if args.trace_overhead_only:
@@ -704,6 +811,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.fabric_only:
         ok, _ = measure_fabric_benchmark(args.fabric_threshold,
                                          args.fabric_budget_s)
+        return 0 if ok else 1
+    if args.cache_only:
+        ok, metrics = measure_cache_bench(args.cache_speedup)
+        rev = args.rev or git_rev()
+        out_path = RESULTS_DIR / f"BENCH_{rev}.json"
+        if out_path.is_file():  # fold into an existing archive if present
+            record_extra_metrics(out_path, {"cache": metrics})
+            print(f"recorded cache metrics into {out_path}")
         return 0 if ok else 1
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -768,6 +883,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         fabric_ok, fabric_metrics = measure_fabric_benchmark(
             args.fabric_threshold, args.fabric_budget_s)
         extra["fabric"] = fabric_metrics
+    cache_ok = True
+    if not args.skip_cache_bench:
+        cache_ok, cache_metrics = measure_cache_bench(args.cache_speedup)
+        extra["cache"] = cache_metrics
     if args.figure_sweep:
         sweep = measure_figure_sweep()
         extra["figure_sweep"] = sweep
@@ -787,7 +906,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             record_extra_metrics(out_path, extra)
             return 1
     record_extra_metrics(out_path, extra)
-    if not sched_ok or not chaos_ok or not stream_ok or not fabric_ok:
+    if (not sched_ok or not chaos_ok or not stream_ok or not fabric_ok
+            or not cache_ok):
         return 1
     if not args.skip_trace_overhead:
         if not check_trace_overhead(args.trace_threshold, args.trace_repeats):

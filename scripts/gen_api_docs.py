@@ -52,23 +52,31 @@ PREAMBLE = """\
 Every experiment decomposes into independent simulation points, and two
 orthogonal mechanisms exploit that:
 
-* **Parallel sweeps** — `repro.sim.runner.SweepRunner` fans points over
-  a process pool and collects them in submission order, so results are
-  **bit-identical at any job count**.  Select the worker count with
+* **Parallel sweeps** — `repro.sim.runner.SweepRunner` fans points
+  through the persistent warm worker pool (`repro.sim.pool`) and
+  collects them in submission order, so results are **bit-identical at
+  any job count**.  One long-lived pool is shared across sweeps and
+  experiments (`REPRO_POOL_PERSIST=0` reverts to a pool per sweep);
+  points travel in order-preserving batches (`REPRO_POOL_CHUNK`
+  overrides the size).  Select the worker count with
   `run_experiment(name, jobs=4)`, the `--jobs/-j` CLI flag (`auto` =
   one per core) or the `REPRO_JOBS` environment variable; the default
   is serial.
 * **Result cache** — completed points (and whole experiment outputs)
-  are memoized under `.repro-cache/` (override with `REPRO_CACHE_DIR`),
-  keyed by a stable hash of the tuning configuration, topology,
-  workload and a fingerprint of the `repro` sources — editing the
-  simulator invalidates everything it could have influenced, while
-  doc/test edits keep the cache warm.  Enable it with
-  `run_experiment(name, cache=True)`, `repro.cache_context(...)` or
-  `REPRO_CACHE=1` (the CLI caches by default; `--no-cache` opts out).
-  Inspect with `repro.cache_stats()` / `python -m repro --cache-stats`;
-  drop entries with `repro.clear_cache()` / `--clear-cache`.  Corrupt
-  or truncated entries are detected, discarded and recomputed.
+  are memoized under `.repro-cache/` (override with `REPRO_CACHE_DIR`):
+  a 256-way sharded store with per-shard append-only indexes, an
+  in-process hot tier for repeat reads, and LRU eviction under
+  `REPRO_CACHE_MAX_BYTES` (see `docs/CACHING.md`).  Keys are a stable
+  hash of the tuning configuration, topology, workload and a
+  fingerprint of the `repro` sources — editing the simulator
+  invalidates everything it could have influenced, while doc/test
+  edits keep the cache warm; a fully-warm sweep never touches the
+  worker pool at all.  Enable it with `run_experiment(name,
+  cache=True)`, `repro.cache_context(...)` or `REPRO_CACHE=1` (the CLI
+  caches by default; `--no-cache` opts out).  Inspect with
+  `repro.cache_stats()` / `python -m repro --cache-stats`; drop
+  entries with `repro.clear_cache()` / `--clear-cache`.  Corrupt or
+  truncated entries are detected, discarded and recomputed.
 
 ## Telemetry
 

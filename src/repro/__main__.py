@@ -13,8 +13,11 @@ Each named experiment prints the same rows/series the paper reports
 (see the index in DESIGN.md) and optionally archives the text.
 Independent simulation points fan out over ``--jobs`` worker processes
 (default: ``REPRO_JOBS`` or serial; results are bit-identical either
-way), and completed work is memoized under ``.repro-cache/`` so warm
-reruns are near-instant (``--no-cache`` forces recomputation).
+way) drawn from one persistent warm pool shared by every experiment in
+the invocation (``REPRO_POOL_PERSIST=0`` reverts to a pool per sweep),
+and completed work is memoized under ``.repro-cache/`` so warm reruns
+are near-instant (``--no-cache`` forces recomputation; see
+docs/CACHING.md for the store layout and sizing knobs).
 
 Chaos (see docs/RESILIENCE.md): ``--chaos PLAN.json`` (or the
 ``REPRO_CHAOS`` environment variable) arms a declarative fault plan for
@@ -185,10 +188,17 @@ def main(argv: List[str] = None) -> int:
             print(name)
         return 0
     if args.cache_stats:
+        from repro.cache import SHARDS, cache_max_bytes
         stats = cache_stats()
-        print(f"cache {stats.path}: {stats.entries} entries, "
-              f"{stats.size_bytes / 1e6:.2f} MB "
-              f"(this process: {stats.hits} hits / {stats.misses} misses)")
+        cap = cache_max_bytes()
+        cap_note = (f", cap {cap / 1e6:.2f} MB" if cap is not None
+                    else "")
+        print(f"cache {stats.path}: {stats.entries} entries across "
+              f"{SHARDS} shards, {stats.size_bytes / 1e6:.2f} MB{cap_note}")
+        print(f"  this process: {stats.hits} hits "
+              f"({stats.hot_hits} hot) / {stats.misses} misses, "
+              f"{stats.stores} stores, {stats.evictions} evictions, "
+              f"{stats.errors} errors")
         return 0
     if args.clear_cache:
         removed = clear_cache()
@@ -260,6 +270,10 @@ def main(argv: List[str] = None) -> int:
             rc = _run_experiments(args, names, telemetry_on, want_events,
                                   all_events, bus)
     finally:
+        # The warm worker pool persists across the experiments above;
+        # tear it down before the interpreter starts dying.
+        from repro.sim.pool import shutdown_pool
+        shutdown_pool()
         if recorder is not None:
             bundle = recorder.close()
             print(f"recorded {bundle.event_count} events into "

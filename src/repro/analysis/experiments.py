@@ -15,10 +15,14 @@ every runner:
 
 * ``jobs`` — worker processes for the independent simulation points
   inside an experiment (sweep payloads, MTUs, buffer factors, probes).
-  Results are bit-identical at any job count.
+  Points dispatch through the persistent warm worker pool
+  (:mod:`repro.sim.pool`), so consecutive experiments reuse the same
+  worker processes instead of re-spawning a pool per sweep.  Results
+  are bit-identical at any job count.
 * ``cache`` — the on-disk result cache (see :mod:`repro.cache`): both
   individual points and whole experiment outputs are memoized keyed by
-  configuration + code fingerprint, so warm reruns are near-instant.
+  configuration + code fingerprint, so warm reruns are near-instant —
+  a fully-warm experiment never touches the worker pool at all.
 """
 
 from __future__ import annotations

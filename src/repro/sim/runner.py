@@ -3,10 +3,10 @@
 Every experiment in this repository decomposes into *independent*
 end-to-end simulations — one fresh :class:`~repro.sim.engine.Environment`
 per payload size, MTU, buffer factor or probe.  :class:`SweepRunner`
-exploits that: it dispatches such points over a
-:class:`~concurrent.futures.ProcessPoolExecutor` and collects results in
-submission order, so a parallel sweep is *bit-identical* to the serial
-one (each point is a deterministic pure function of its task tuple; only
+exploits that: it dispatches such points through the persistent warm
+worker pool (:mod:`repro.sim.pool`) and collects results in submission
+order, so a parallel sweep is *bit-identical* to the serial one (each
+point is a deterministic pure function of its task tuple; only
 wall-clock changes).  With ``jobs=1`` no pool is created at all — the
 serial fallback runs the exact same function calls in-process.
 
@@ -20,7 +20,8 @@ Job-count resolution (first match wins):
 
 The runner also consults :func:`repro.cache.active_cache`: completed
 points are memoized keyed by (namespace, worker function, task tuple,
-code fingerprint), so only cache misses are dispatched at all.
+code fingerprint), so only cache misses are dispatched at all — a
+fully-warm sweep answers without ever touching the worker pool.
 """
 
 from __future__ import annotations
@@ -29,31 +30,13 @@ import contextlib
 import contextvars
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterator, List, Optional, Sequence
 
-from repro.cache import active_cache, code_fingerprint, stable_key
 from repro.errors import ConfigError
-from repro.telemetry.session import active_session, nested_session
+from repro.sim import pool as _pool
+from repro.telemetry.session import active_session
 
 __all__ = ["SweepRunner", "resolve_jobs", "job_context", "point_seed"]
-
-
-def _telemetry_call(bundle):
-    """Run one sweep point inside a fresh nested telemetry session.
-
-    Module-level so it pickles into pool workers.  Returns ``(result,
-    payload)`` — the payload carries the point's metrics snapshot, trace
-    events and engine profile back to the parent, which absorbs them in
-    task order.  Serial execution goes through this same wrapper, so
-    serial and parallel runs aggregate identically by construction.
-    """
-    fn, task, spec = bundle
-    metrics, trace, profile = spec
-    with nested_session(metrics=metrics, trace=trace,
-                        profile=profile) as session:
-        result = fn(task)
-    return result, session.export_payload()
 
 _active_jobs: contextvars.ContextVar = contextvars.ContextVar(
     "repro_jobs", default=None)
@@ -122,56 +105,14 @@ class SweepRunner:
         ``fn`` must be a module-level callable and each task picklable
         (they cross a process boundary when ``jobs > 1``).  When
         ``cache_ns`` is given and a cache is active, completed points
-        are memoized; only misses are computed.
+        are memoized; only misses are computed.  Under an active
+        telemetry session the cache is bypassed (a hit would return the
+        result but produce no telemetry) and every point runs in its own
+        nested session whose payload is absorbed in task order.
+
+        Delegates to the :mod:`repro.sim.pool` submit/collect seam, so
+        parallel points share the persistent warm worker pool across
+        sweeps and experiments.
         """
-        tasks = list(tasks)
-        results: List[Any] = [None] * len(tasks)
-        session = active_session()
-        if session is not None:
-            # Telemetry run: every point executes inside its own nested
-            # session and ships its metrics/events/profile back here.
-            # The on-disk cache is bypassed — a cache hit would return
-            # the result but produce no telemetry.
-            spec = (session.metrics_enabled, session.trace_enabled,
-                    session.profile_enabled)
-            bundles = [(fn, task, spec) for task in tasks]
-            if self.jobs > 1 and len(bundles) > 1:
-                workers = min(self.jobs, len(bundles))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    pairs = list(pool.map(_telemetry_call, bundles))
-            else:
-                pairs = [_telemetry_call(b) for b in bundles]
-            prefix_ns = cache_ns or f"{fn.__module__}.{fn.__qualname__}"
-            for i, (result, payload) in enumerate(pairs):
-                results[i] = result
-                session.absorb(payload, prefix=f"{prefix_ns}[{i}]/")
-            return results
-        cache = active_cache() if cache_ns is not None else None
-        pending = list(range(len(tasks)))
-        keys: List[Optional[str]] = [None] * len(tasks)
-        if cache is not None:
-            fingerprint = code_fingerprint()
-            fn_id = f"{fn.__module__}.{fn.__qualname__}"
-            still_pending = []
-            for i in pending:
-                keys[i] = stable_key(cache_ns, fn_id, tasks[i], fingerprint)
-                hit, value = cache.get(keys[i])
-                if hit:
-                    results[i] = value
-                else:
-                    still_pending.append(i)
-            pending = still_pending
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [pool.submit(fn, tasks[i]) for i in pending]
-                    for i, future in zip(pending, futures):
-                        results[i] = future.result()
-            else:
-                for i in pending:
-                    results[i] = fn(tasks[i])
-            if cache is not None:
-                for i in pending:
-                    cache.put(keys[i], results[i])
-        return results
+        return _pool.dispatch(fn, tasks, jobs=self.jobs, cache_ns=cache_ns,
+                              session=active_session())

@@ -8,7 +8,8 @@ table as the user-facing reference.
 
 Layer prefixes mirror the source tree: ``pcix``/``mch``/``nic``/``irq``
 (hw), ``skbuff``/``copy``/``host`` (oskernel boundary), ``tcp`` (tcp),
-``switch``/``wan``/``pos`` (net), ``chaos`` (fault injection).
+``switch``/``wan``/``pos`` (net), ``chaos`` (fault injection),
+``cache`` (result cache), ``pool`` (persistent worker pool).
 """
 
 from __future__ import annotations
@@ -107,6 +108,26 @@ _POINTS: Tuple[Tuple[str, str, str], ...] = (
     ("chaos.unmatched", "chaos",
      "Fault plan entry matched no component in this topology "
      "(armed as a no-op)"),
+    # -- result cache ---------------------------------------------------------
+    ("cache.hits", "cache",
+     "Counter point: result-cache lookups answered from the hot tier or "
+     "disk store"),
+    ("cache.misses", "cache",
+     "Counter point: result-cache lookups that fell through to "
+     "recomputation"),
+    ("cache.evictions", "cache",
+     "Counter point: entries evicted to honour REPRO_CACHE_MAX_BYTES "
+     "(least recently used first)"),
+    ("cache.bytes", "cache",
+     "Gauge point: on-disk footprint of the result cache after the last "
+     "store or eviction"),
+    # -- worker pool ----------------------------------------------------------
+    ("pool.tasks_dispatched", "pool",
+     "Counter point: sweep points dispatched to worker processes "
+     "(cache hits never dispatch)"),
+    ("pool.reuse", "pool",
+     "Counter point: dispatches served by an already-warm persistent "
+     "worker pool instead of spawning one"),
 )
 
 #: name -> :class:`InstrumentationPoint`, the authoritative catalog.
@@ -132,6 +153,8 @@ LAYER_TITLES: Tuple[Tuple[str, str], ...] = (
     ("tcp", "TCP"),
     ("net", "Network"),
     ("chaos", "Chaos engine"),
+    ("cache", "Result cache"),
+    ("pool", "Worker pool"),
 )
 
 

@@ -111,7 +111,7 @@ def test_corrupt_cache_entry_recomputed_to_identical_result(tmp_path):
     study = CaseStudy(points=2)
     with cache_context(cache):
         cold = study.sweep(config, payloads=PAYLOADS)
-        for entry in cache.path.glob("*.pkl"):
+        for entry in cache.path.rglob("*.pkl"):
             entry.write_bytes(b"RPROCACHE1\ngarbage")
         recomputed = study.sweep(config, payloads=PAYLOADS)
     assert cache.errors == len(PAYLOADS)

@@ -204,8 +204,16 @@ class TestSweepParity:
         r_serial, m_serial, e_serial = self._run(1)
         r_par, m_par, e_par = self._run(2)
         assert r_serial == r_par
-        # the acceptance criterion: merged metrics are bit-identical
-        assert m_serial == m_par
+        # the acceptance criterion: merged *simulation* metrics are
+        # bit-identical.  Dispatch-harness counters (pool.*) describe how
+        # the sweep was scheduled and intentionally vary with job count,
+        # like wall-clock — they are outside the parity contract.
+        def sim_metrics(snapshot):
+            return [m for m in snapshot if not m["name"].startswith("pool.")]
+        assert sim_metrics(m_serial) == sim_metrics(m_par)
+        # ...and the parallel run does record its dispatch traffic
+        assert any(m["name"] == "pool.tasks_dispatched" and
+                   m["data"]["value"] == len(self.TASKS) for m in m_par)
         # events match in shape: same per-track point tallies.  (Subject
         # idents come from process-global counters, so the raw tuples
         # differ between one process and a forked pool.)

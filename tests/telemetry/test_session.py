@@ -184,7 +184,8 @@ class TestCatalog:
     def test_keys_match_entry_names(self):
         for name, point in CATALOG.items():
             assert point.name == name
-            assert point.layer in {"hw", "oskernel", "tcp", "net", "sim", "chaos"}
+            assert point.layer in {"hw", "oskernel", "tcp", "net", "sim",
+                                   "chaos", "cache", "pool"}
             assert point.description
 
     def test_layer_of_cataloged_point(self):
