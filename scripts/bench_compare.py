@@ -47,6 +47,12 @@ metrics into the archived JSON (under ``repro_metrics``):
   times for legacy+heap vs batched+calendar, their speedup, and a
   bit-identical cross-check of the experiment data.
 
+Finally, ``--lint-clean`` runs reprolint (``python -m repro.lint``, see
+docs/LINTING.md) over ``src/repro`` against the committed baseline and
+stamps the verdict into the archived record (top-level ``lint_clean``
+plus details under ``repro_metrics.lint``) — performance baselines are
+only trusted from lint-clean trees.
+
 Usage::
 
     python scripts/bench_compare.py                 # engine microbenches
@@ -55,6 +61,7 @@ Usage::
     python scripts/bench_compare.py --threshold 0.10
     python scripts/bench_compare.py --trace-overhead-only
     python scripts/bench_compare.py --figure-sweep  # + train/scheduler bench
+    python scripts/bench_compare.py --lint-clean    # reprolint gate + stamp
 """
 
 from __future__ import annotations
@@ -307,6 +314,40 @@ def measure_figure_sweep(repeats: int = 2) -> Dict[str, object]:
     report["bit_identical"] = all(report[e]["bit_identical"]
                                   for e in experiments)
     return report
+
+
+def measure_lint_clean() -> Dict[str, object]:
+    """Run reprolint over ``src/repro`` against the committed baseline.
+
+    Returns the verdict metrics; any new findings are printed so the
+    log shows *why* a tree is not lint-clean.
+    """
+    src = str(ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.lint import lint_paths, load_baseline
+    baseline_path = ROOT / "reprolint-baseline.json"
+    baseline = (load_baseline(baseline_path)
+                if baseline_path.is_file() else None)
+    result = lint_paths([ROOT / "src" / "repro"], baseline=baseline)
+    for finding in result.findings:
+        print(finding.render())
+    print(f"reprolint: {'clean' if result.ok else 'FAIL'} — "
+          f"{len(result.findings)} new finding(s) in "
+          f"{result.files} file(s)")
+    return {"clean": result.ok, "files": result.files,
+            "new_findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed_inline": result.suppressed}
+
+
+def stamp_lint_clean(out_path: pathlib.Path,
+                     metrics: Dict[str, object]) -> None:
+    """Stamp the reprolint verdict into the archived BENCH JSON."""
+    data = json.loads(out_path.read_text())
+    data["lint_clean"] = bool(metrics["clean"])
+    data.setdefault("repro_metrics", {})["lint"] = metrics
+    out_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def record_extra_metrics(out_path: pathlib.Path,
@@ -796,7 +837,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run only the result-cache warm/cold gate")
     parser.add_argument("--skip-cache-bench", action="store_true",
                         help="skip the result-cache warm/cold gate")
+    parser.add_argument("--lint-clean", action="store_true",
+                        help="run reprolint over src/repro and stamp the "
+                             "verdict into BENCH_<rev>.json (standalone "
+                             "gate; exits 1 on new findings)")
     args = parser.parse_args(argv)
+
+    if args.lint_clean:
+        metrics = measure_lint_clean()
+        rev = args.rev or git_rev()
+        out_path = RESULTS_DIR / f"BENCH_{rev}.json"
+        if out_path.is_file():  # fold into an existing archive if present
+            stamp_lint_clean(out_path, metrics)
+            print(f"stamped lint verdict into {out_path}")
+        return 0 if metrics["clean"] else 1
 
     if args.trace_overhead_only:
         ok = check_trace_overhead(args.trace_threshold, args.trace_repeats)

@@ -1,15 +1,19 @@
 #!/usr/bin/env python
-"""Lint gate: run ruff when available, fall back to a syntax check.
+"""Lint gate: reprolint (always) plus ruff when available.
 
-The repository's lint rules live in ``pyproject.toml`` (``[tool.ruff]``
-— error-class checks only).  Ruff itself is an optional tool: dev boxes
-and CI images that have it get the full check, minimal environments
-degrade to ``compileall`` (pure syntax validation) instead of failing
-on a missing binary.
+Two layers run here:
+
+* **reprolint** (``python -m repro.lint`` — in-repo, no dependency):
+  the AST-based determinism & contract linter described in
+  ``docs/LINTING.md``.  It always runs; its findings always gate.
+* **ruff** error-class checks (configured in ``pyproject.toml``).
+  Ruff is an optional tool: dev boxes and CI images that have it get
+  the full check, minimal environments degrade to ``compileall``
+  (pure syntax validation) instead of failing on a missing binary.
 
 Usage::
 
-    python scripts/lint.py            # ruff check (or syntax fallback)
+    python scripts/lint.py            # reprolint + ruff (or syntax fallback)
     python scripts/lint.py --strict   # missing ruff is an error
 """
 
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import compileall
+import os
 import pathlib
 import shutil
 import subprocess
@@ -25,6 +30,15 @@ from typing import List, Optional
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 TARGETS = ["src", "tests", "benchmarks", "scripts", "examples"]
+
+
+def run_reprolint() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(ROOT / "src"), env.get("PYTHONPATH")) if p)
+    cmd = [sys.executable, "-m", "repro.lint", "src/repro"]
+    print(f"$ {' '.join(cmd)}")
+    return subprocess.run(cmd, cwd=ROOT, env=env).returncode
 
 
 def run_ruff(ruff: str) -> int:
@@ -51,14 +65,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "instead of falling back to a syntax check")
     args = parser.parse_args(argv)
 
+    reprolint_rc = run_reprolint()
+
     ruff = shutil.which("ruff")
     if ruff is not None:
-        return run_ruff(ruff)
-    if args.strict:
+        style_rc = run_ruff(ruff)
+    elif args.strict:
         print("error: ruff is not installed (pip install ruff)",
               file=sys.stderr)
-        return 2
-    return run_syntax_fallback()
+        style_rc = 2
+    else:
+        style_rc = run_syntax_fallback()
+
+    return reprolint_rc or style_rc
 
 
 if __name__ == "__main__":

@@ -131,8 +131,8 @@ def _hold_serving(server) -> None:
     """Keep the observer up until Ctrl-C (interactive sessions, or
     ``REPRO_SERVE_HOLD=1``; non-tty runs fall through so scripted
     invocations terminate)."""
-    import os
-    hold = os.environ.get("REPRO_SERVE_HOLD")
+    from repro.core.knobs import env_raw
+    hold = env_raw("REPRO_SERVE_HOLD")
     if hold is not None:
         want = hold not in ("0", "")
     else:

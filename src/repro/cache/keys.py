@@ -14,19 +14,39 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import pathlib
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 from repro.chaos.hooks import active_plan_fingerprint
 
-__all__ = ["code_fingerprint", "default_cache_dir", "stable_key"]
+__all__ = ["ambient_key_material", "code_fingerprint", "default_cache_dir",
+           "stable_key"]
+
+
+def _knobs():
+    # Lazy: repro.core.__init__ transitively imports repro.cache, so a
+    # module-level import here would be circular.  First call pays the
+    # package import; sys.modules caches the rest.
+    from repro.core import knobs
+    return knobs
 
 
 def default_cache_dir() -> pathlib.Path:
     """The cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
-    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    env = _knobs().env_value("REPRO_CACHE_DIR")
     return pathlib.Path(env) if env else pathlib.Path.cwd() / ".repro-cache"
+
+
+def ambient_key_material() -> Dict[str, str]:
+    """Raw non-default values of every ambient-keyed environment knob.
+
+    Delegates to :func:`repro.core.knobs.ambient_key_material`; lives
+    here too so the key layer owns one complete list of its
+    ingredients (config + code fingerprint + chaos fingerprint +
+    ambient knobs) and so lint rule RPR006 can check the wiring
+    statically.
+    """
+    return _knobs().ambient_key_material()
 
 
 # ---------------------------------------------------------------------------
@@ -46,7 +66,7 @@ def code_fingerprint() -> str:
     ``REPRO_CODE_FINGERPRINT`` so no worker ever repeats the source
     walk.
     """
-    override = os.environ.get("REPRO_CODE_FINGERPRINT", "").strip()
+    override = _knobs().env_value("REPRO_CODE_FINGERPRINT")
     if override:
         return override
     global _fingerprint
@@ -113,10 +133,21 @@ def stable_key(*parts: Any) -> str:
     never alias clean results (or results under a different plan).  With
     no plan — or an empty one, which cannot affect results — the keys
     are byte-identical to a chaos-free build.
+
+    Result-affecting environment knobs (the ``keyed_via="ambient"``
+    rows of :data:`repro.core.knobs.ENV_KNOBS` — hybrid-mode gating and
+    the coupling tick) fold in the same additive way: only when set to
+    a non-default value.  Before this, ``REPRO_HYBRID=0`` (forced
+    all-DES) could alias a cached hybrid-mode result under the same
+    key; reprolint rule RPR006 now guards the completeness of that
+    material statically.
     """
     canon_parts = [_canon(p) for p in parts]
     chaos_fp = active_plan_fingerprint()
     if chaos_fp is not None:
         canon_parts.append({"__chaos__": chaos_fp})
+    ambient = ambient_key_material()
+    if ambient:
+        canon_parts.append({"__ambient__": ambient})
     canon = json.dumps(canon_parts, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()

@@ -93,22 +93,17 @@ _HOT_BYTES_DEFAULT = 128 * 1024 * 1024
 
 def cache_max_bytes() -> Optional[int]:
     """The on-disk size cap from ``REPRO_CACHE_MAX_BYTES`` (None = off)."""
-    raw = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
-    if not raw:
-        return None
-    try:
-        cap = int(raw)
-    except ValueError:
+    from repro.core.knobs import env_value  # lazy: core imports cache
+    cap = env_value("REPRO_CACHE_MAX_BYTES")
+    if cap is None:
         return None
     return cap if cap > 0 else None
 
 
 def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name, "").strip()
-    try:
-        return int(raw) if raw else default
-    except ValueError:
-        return default
+    from repro.core.knobs import env_value  # lazy: core imports cache
+    value = env_value(name)
+    return value if value is not None else default
 
 
 @dataclass
@@ -433,7 +428,7 @@ class ResultCache:
             if hashlib.sha256(payload).hexdigest().encode() != digest:
                 raise ValueError("checksum mismatch")
             value = pickle.loads(payload)
-        except Exception:
+        except Exception:  # reprolint: disable=RPR007 -- unpickling a corrupt blob can raise nearly anything; any failure means "treat as miss"
             # Detected corruption: drop the entry, report a miss.
             self.errors += 1
             self.misses += 1
@@ -469,7 +464,7 @@ class ResultCache:
         caching is an optimization, never a failure mode."""
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
+        except Exception:  # reprolint: disable=RPR007 -- unpicklable values raise arbitrary types; caching is best-effort, never a failure mode
             self.errors += 1
             return False
         blob = (_MAGIC

@@ -30,7 +30,6 @@ path.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Dict, Optional
 
 __all__ = ["CHAOS_ENV", "active_chaos", "chaos_active", "register_target",
@@ -50,6 +49,20 @@ _ENV_SESSIONS: Dict[str, Any] = {}
 #: ``scripts/bench_compare.py`` can measure the pre-chaos baseline.
 _BYPASS = False
 
+#: Memoized :func:`repro.core.knobs.env_value` — bound on first hook
+#: use so this module stays import-light (repro.core transitively
+#: imports the simulator) without re-paying the import machinery on
+#: every no-plan hook call.
+_ENV_VALUE: Optional[Any] = None
+
+
+def _env_value(name: str) -> Any:
+    global _ENV_VALUE
+    if _ENV_VALUE is None:
+        from repro.core.knobs import env_value
+        _ENV_VALUE = env_value
+    return _ENV_VALUE(name)
+
 
 def active_chaos() -> Optional[Any]:
     """The active :class:`~repro.chaos.injector.ChaosSession`, or ``None``.
@@ -62,7 +75,7 @@ def active_chaos() -> Optional[Any]:
         return None
     if _ACTIVE is not None:
         return _ACTIVE
-    path = os.environ.get(CHAOS_ENV)
+    path = _env_value(CHAOS_ENV)
     if not path:
         return None
     session = _ENV_SESSIONS.get(path)

@@ -1,0 +1,181 @@
+"""The rule engine's moving parts: contexts, the Rule base, the registry.
+
+A rule sees the world through two lenses:
+
+* :meth:`Rule.check_module` — one parsed module at a time.  Rules that
+  only apply to parts of the tree (the wall-clock rule has no business
+  in ``analysis/``) declare ``paths``, a tuple of package-relative
+  prefixes, and the engine scopes them automatically.
+* :meth:`Rule.check_project` — after every module is parsed, for
+  cross-file contracts (dead catalog points, cache-key completeness).
+  Project checks that need the *whole* package to be meaningful gate on
+  :attr:`ProjectContext.covers_package`.
+
+Rules register themselves with the :func:`rule` decorator at import
+time; the registry is the single source the CLI, the docs generator and
+the tests all enumerate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["ModuleContext", "ProjectContext", "Rule", "RULES", "rule",
+           "all_rules", "parse_suppressions"]
+
+#: ``# reprolint: disable=RPR001,RPR003 -- optional rationale`` (no ids
+#: = every rule on that line).  The rationale after ``--`` is for the
+#: human reviewer; the linter only parses the id list.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?:=(?P<ids>[A-Za-z0-9_,\s]*?))?(?:\s*--.*)?$")
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, Optional[set]]:
+    """1-based line -> suppressed rule-id set (None = all rules)."""
+    out: Dict[int, Optional[set]] = {}
+    for n, text in enumerate(lines, start=1):
+        if "reprolint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        if ids is None or not ids.strip():
+            out[n] = None
+        else:
+            out[n] = {i.strip().upper() for i in ids.split(",") if i.strip()}
+    return out
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file plus everything a rule needs to judge it."""
+
+    path: str                    # path as reported in findings
+    logical: str                 # package-relative posix path ("" if outside)
+    tree: ast.Module
+    lines: List[str]
+    suppressions: Dict[int, Optional[set]] = field(default_factory=dict)
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-based source line, or "" when out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressed(self, rule_id: str, lineno: int) -> bool:
+        """Whether an inline comment suppresses ``rule_id`` on that line."""
+        ids = self.suppressions.get(lineno, ())
+        return ids is None or rule_id in ids
+
+
+@dataclass
+class ProjectContext:
+    """The whole scanned file set, for cross-file contract rules.
+
+    ``env_registry`` and ``telemetry_catalog`` default to the live
+    tables imported from :mod:`repro.core.knobs` and
+    :mod:`repro.telemetry.points`; tests inject fixtures instead.
+    """
+
+    modules: List[ModuleContext]
+    covers_package: bool = False
+    env_registry: Optional[Dict[str, object]] = None
+    telemetry_catalog: Optional[Dict[str, object]] = None
+
+    def module(self, logical: str) -> Optional[ModuleContext]:
+        """The scanned module with this logical path, if any."""
+        for mod in self.modules:
+            if mod.logical == logical:
+                return mod
+        return None
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, register.
+
+    Attributes
+    ----------
+    id:
+        ``"RPR0xx"`` — stable, never reused.
+    name:
+        Short kebab-case label shown next to the id.
+    severity:
+        Default severity for this rule's findings.
+    paths:
+        Package-relative prefixes the rule applies to (None = all).
+    rationale:
+        Why violating this breaks reproducibility or a contract; the
+        docs catalog renders it.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    paths: Optional[Tuple[str, ...]] = None
+    rationale: str = ""
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Whether this rule's path scope covers ``module``."""
+        if self.paths is None:
+            return True
+        return bool(module.logical) and module.logical.startswith(self.paths)
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module (override per rule)."""
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Yield cross-file findings after every module is parsed."""
+        return iter(())
+
+    # -- helpers shared by every concrete rule -------------------------------
+
+    def finding(self, module: ModuleContext, node: ast.AST,
+                message: str) -> Finding:
+        """Build a Finding anchored at ``node`` with this rule's identity."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id, name=self.name, severity=self.severity,
+            path=module.path, logical=module.logical, line=lineno,
+            col=col, message=message,
+            line_text=module.line_text(lineno))
+
+
+#: id -> rule instance; populated by the :func:`rule` decorator.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule."""
+    instance = cls()
+    if not instance.id or not instance.name:
+        raise ValueError(f"rule {cls.__name__} must define id and name")
+    if instance.id in RULES:
+        raise ValueError(f"duplicate rule id {instance.id}")
+    RULES[instance.id] = instance
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order."""
+    return [RULES[k] for k in sorted(RULES)]
+
+
+def resolve_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """The rule set to run (``select`` filters by id, case-insensitive)."""
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {s.strip().upper() for s in select if s.strip()}
+    unknown = wanted - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {sorted(unknown)}; "
+                         f"known: {sorted(RULES)}")
+    return [r for r in rules if r.id in wanted]

@@ -1,0 +1,102 @@
+"""Baselines: accept legacy findings without letting new ones in.
+
+A baseline is a committed JSON file of finding fingerprints.  Findings
+whose fingerprint appears in the baseline are reported as "baselined"
+and do not fail the gate; anything else does.  Because fingerprints
+hash line *content* rather than line numbers, moving code around
+neither breaks the baseline nor lets one stale entry absorb a fresh
+violation elsewhere.
+
+The repository's committed ``reprolint-baseline.json`` is empty — every
+finding the initial sweep produced was either fixed or suppressed
+inline with a rationale — and the meta-test in ``tests/lint`` keeps it
+that way.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME", "fingerprint_findings",
+           "load_baseline", "write_baseline"]
+
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+
+_FORMAT = "reprolint-baseline-v1"
+
+
+def fingerprint_findings(findings: Sequence[Finding]) -> List[str]:
+    """Fingerprints for a finding list, disambiguating duplicates.
+
+    Two identical violations on identical lines of one file get
+    occurrence indexes 0, 1, ... in file order, so a baseline holding
+    one of them never absorbs the second.
+    """
+    seen: Dict[str, int] = collections.defaultdict(int)
+    out: List[str] = []
+    for finding in findings:
+        occurrence = seen[finding.fingerprint_seed]
+        seen[finding.fingerprint_seed] += 1
+        out.append(finding.fingerprint(occurrence))
+    return out
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings set plus its provenance."""
+
+    path: str = ""
+    fingerprints: Set[str] = field(default_factory=set)
+
+    def partition(self, findings: Sequence[Finding]) \
+            -> Tuple[List[Finding], List[Finding]]:
+        """``(new, baselined)`` — order preserved within each."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding, fp in zip(findings, fingerprint_findings(findings)):
+            (old if fp in self.fingerprints else new).append(finding)
+        return new, old
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> Baseline:
+    """Load a baseline file (raises on a malformed one — a broken
+    baseline silently accepting everything would defeat the gate)."""
+    path = pathlib.Path(path)
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise ValueError(
+            f"{path}: not a reprolint baseline (expected format={_FORMAT!r})")
+    entries = data.get("findings", [])
+    fingerprints = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+        fingerprints.add(entry["fingerprint"])
+    return Baseline(path=str(path), fingerprints=fingerprints)
+
+
+def write_baseline(path: Union[str, pathlib.Path],
+                   findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new accepted set.
+
+    Entries carry the human-readable context (rule, path, message)
+    alongside the fingerprint so a reviewer can audit what a baseline
+    actually grandfathers in.
+    """
+    entries = [
+        dict(sorted(f.to_json().items()))
+        for f, fp in zip(findings, fingerprint_findings(findings))
+    ]
+    for entry, fp in zip(entries, fingerprint_findings(list(findings))):
+        entry["fingerprint"] = fp
+        entry.pop("line", None)   # line numbers drift; fingerprints don't
+        entry.pop("col", None)
+    payload = {"format": _FORMAT, "findings": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")

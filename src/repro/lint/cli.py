@@ -1,0 +1,130 @@
+"""``python -m repro.lint``: the command-line face of reprolint.
+
+Exit codes: 0 = clean (or every finding baselined/suppressed), 1 = new
+findings, 2 = usage or environment error.  ``--format json`` emits a
+machine-readable report for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.lint.base import all_rules
+from repro.lint.baseline import (DEFAULT_BASELINE_NAME, load_baseline,
+                                 write_baseline)
+from repro.lint.engine import lint_paths
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & contract linter for the "
+                    "repro simulation stack (see docs/LINTING.md).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src/repro under the cwd)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help=f"baseline file (default: "
+                             f"./{DEFAULT_BASELINE_NAME} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept the current findings: write them to "
+                             "the baseline file and exit 0")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _default_paths() -> List[str]:
+    candidate = pathlib.Path("src/repro")
+    if candidate.is_dir():
+        return [str(candidate)]
+    raise SystemExit("error: no paths given and ./src/repro does not "
+                     "exist; pass the files or directories to lint")
+
+
+def _list_rules() -> int:
+    for rule_ in all_rules():
+        scope = ", ".join(rule_.paths) if rule_.paths else "whole tree"
+        print(f"{rule_.id}  {rule_.name}  [{rule_.severity}]  "
+              f"(scope: {scope})")
+        print(f"    {rule_.rationale}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code (0/1/2)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+
+    paths = args.paths or _default_paths()
+    select = (args.select.split(",") if args.select else None)
+
+    baseline_path = args.baseline or pathlib.Path(DEFAULT_BASELINE_NAME)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline \
+            and baseline_path.is_file():
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = lint_paths(paths, select=select, baseline=baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(f"wrote {len(result.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_json() for f in result.findings],
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "files": result.files,
+            "ok": result.ok,
+        }, indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+
+    for finding in result.findings:
+        print(finding.render())
+    summary = (f"{len(result.findings)} finding(s) in {result.files} "
+               f"file(s)")
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed inline")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    if result.ok:
+        print(f"reprolint: clean — {summary}")
+        return 0
+    counts = ", ".join(f"{rule}×{n}"
+                       for rule, n in result.counts_by_rule().items())
+    print(f"reprolint: FAIL — {summary} [{counts}]")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""The lint engine: walk files, parse, run rules, filter, report.
+
+Path semantics: every scanned file gets a *logical* path — its posix
+path relative to the innermost enclosing ``repro`` package directory
+(``.../src/repro/sim/engine.py`` -> ``sim/engine.py``).  Rules scope on
+logical paths, so test fixtures laid out as ``tmp/repro/sim/x.py`` are
+judged exactly like the real tree.  Cross-file contract checks that
+need the whole package (dead telemetry points) additionally require
+that the scan *covered* a package root, not just brushed against it.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.lint.base import (ModuleContext, ProjectContext, Rule,
+                             parse_suppressions, resolve_rules)
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["LintResult", "collect_files", "lint_paths"]
+
+#: The package directory name that anchors logical paths.
+_PACKAGE_DIR = "repro"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]              # new (actionable) findings
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no actionable (new, unsuppressed) findings remain."""
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Actionable finding counts per rule id (sorted by id)."""
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def collect_files(paths: Sequence[Union[str, pathlib.Path]]) \
+        -> List[Tuple[pathlib.Path, pathlib.Path]]:
+    """``(file, scan_root)`` pairs for every ``.py`` under ``paths``."""
+    out: List[Tuple[pathlib.Path, pathlib.Path]] = []
+    seen = set()
+    for raw in paths:
+        root = pathlib.Path(raw)
+        if root.is_file():
+            candidates = [root]
+        elif root.is_dir():
+            candidates = sorted(
+                p for p in root.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for path in candidates:
+            key = path.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append((path, root))
+    return out
+
+
+def _logical_path(path: pathlib.Path) -> Tuple[str, Optional[pathlib.Path]]:
+    """``(logical, package_root)`` for a file; ``("", None)`` outside."""
+    resolved = path.resolve()
+    parts = resolved.parts
+    for i in range(len(parts) - 2, -1, -1):  # innermost "repro" dir wins
+        if parts[i] == _PACKAGE_DIR:
+            logical = "/".join(parts[i + 1:])
+            return logical, pathlib.Path(*parts[:i + 1])
+    return "", None
+
+
+def _parse_module(path: pathlib.Path, display: str) \
+        -> Union[ModuleContext, Finding]:
+    source = path.read_text(encoding="utf-8", errors="replace")
+    lines = source.splitlines()
+    logical, _ = _logical_path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            rule="RPR000", name="parse-error", severity=Severity.ERROR,
+            path=display, logical=logical, line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+            line_text=lines[exc.lineno - 1]
+            if exc.lineno and exc.lineno <= len(lines) else "")
+    return ModuleContext(path=display, logical=logical, tree=tree,
+                         lines=lines,
+                         suppressions=parse_suppressions(lines))
+
+
+def lint_paths(paths: Sequence[Union[str, pathlib.Path]], *,
+               select: Optional[Iterable[str]] = None,
+               baseline: Optional[Baseline] = None,
+               env_registry: Optional[Dict[str, object]] = None,
+               telemetry_catalog: Optional[Dict[str, object]] = None) \
+        -> LintResult:
+    """Lint ``paths`` and return the filtered result.
+
+    ``select`` restricts to specific rule ids; ``baseline`` moves
+    already-accepted findings out of the failing set;
+    ``env_registry``/``telemetry_catalog`` override the live contract
+    tables (tests inject fixtures through these).
+    """
+    rules = resolve_rules(select)
+    files = collect_files(paths)
+    modules: List[ModuleContext] = []
+    raw_findings: List[Finding] = []
+    package_roots_covered = set()
+    for path, scan_root in files:
+        display = str(path)
+        parsed = _parse_module(path, display)
+        if isinstance(parsed, Finding):
+            raw_findings.append(parsed)
+            continue
+        modules.append(parsed)
+        logical, package_root = _logical_path(path)
+        if package_root is not None:
+            scan_resolved = scan_root.resolve()
+            if scan_resolved == package_root \
+                    or scan_resolved in package_root.parents:
+                package_roots_covered.add(package_root)
+
+    project = ProjectContext(
+        modules=modules,
+        covers_package=bool(package_roots_covered),
+        env_registry=env_registry,
+        telemetry_catalog=telemetry_catalog)
+
+    suppressed = 0
+    for module in modules:
+        for rule_ in rules:
+            if not rule_.applies_to(module):
+                continue
+            for finding in rule_.check_module(module):
+                if module.suppressed(finding.rule, finding.line):
+                    suppressed += 1
+                else:
+                    raw_findings.append(finding)
+    for rule_ in rules:
+        # Project rules filter their own suppressions (their findings
+        # can anchor to any module); everything they yield stands.
+        raw_findings.extend(rule_.check_project(project))
+
+    raw_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if baseline is None:
+        new, old = raw_findings, []
+    else:
+        new, old = baseline.partition(raw_findings)
+    return LintResult(findings=new, baselined=old,
+                      suppressed=suppressed, files=len(files))

@@ -1,0 +1,69 @@
+"""Findings: what a rule reports, and how a finding is fingerprinted.
+
+A fingerprint identifies a finding across edits that move it around:
+it hashes the rule id, the module's package-relative path, the
+*content* of the offending line and an occurrence index — never the
+line number — so reordering unrelated code neither invalidates a
+baseline entry nor lets a baselined finding mask a fresh one.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; both levels fail the lint gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR", in output
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str          # "RPR001"
+    name: str          # "unseeded-random"
+    severity: Severity
+    path: str          # filesystem path as given to the engine
+    logical: str       # package-relative posix path, e.g. "sim/engine.py"
+    line: int          # 1-based line of the offending node
+    col: int           # 0-based column of the offending node
+    message: str
+    line_text: str = field(default="", compare=False)
+
+    @property
+    def fingerprint_seed(self) -> str:
+        """Content-based identity material (no line numbers)."""
+        return f"{self.rule}|{self.logical}|{self.line_text.strip()}"
+
+    def fingerprint(self, occurrence: int = 0) -> str:
+        """Stable identity for baselines (line-number independent)."""
+        seed = f"{self.fingerprint_seed}|{occurrence}"
+        return hashlib.sha256(seed.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        """One-line human-readable report form."""
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} [{self.name}] {self.message}")
+
+    def to_json(self, occurrence: int = 0) -> Dict[str, Any]:
+        """JSON-serializable form (fingerprint included for tooling)."""
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": str(self.severity),
+            "path": self.path,
+            "logical": self.logical,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(occurrence),
+        }

@@ -1,0 +1,308 @@
+"""Determinism rules: randomness, wall clocks, hash order, float equality.
+
+These four rules target the bug classes that break the repository's
+bit-identical-runs invariant silently — nothing crashes, results just
+stop being reproducible — which is exactly why they belong in a static
+gate rather than waiting for a runtime parity test to drift red.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.base import ModuleContext, Rule, rule
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["UnseededRandomRule", "WallClockRule", "UnsortedIterationRule",
+           "FloatEqualityRule", "SIM_PATHS"]
+
+#: The packages whose code executes *inside* a simulation — where a
+#: wall-clock read or an exact float compare can leak into results.
+SIM_PATHS = ("sim/", "tcp/", "net/", "hw/", "oskernel/", "chaos/")
+
+
+class _ImportMap:
+    """Where the interesting modules are bound in one file.
+
+    Tracks ``import random`` / ``import numpy as np`` style aliases and
+    ``from random import choice`` style direct names so call-site
+    matching survives renaming imports.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.module_alias: Dict[str, str] = {}   # local name -> module path
+        self.from_names: Dict[str, str] = {}     # local name -> "mod.attr"
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.asname:
+                        self.module_alias[item.asname] = item.name
+                    else:  # "import numpy.random" binds the root name
+                        root = item.name.split(".")[0]
+                        self.module_alias[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for item in node.names:
+                    self.from_names[item.asname or item.name] = \
+                        f"{node.module}.{item.name}"
+
+    def call_target(self, func: ast.AST) -> Optional[str]:
+        """Dotted origin of a call target, e.g. ``random.choice``.
+
+        Resolves ``Name`` through both maps and ``Attribute`` chains
+        through the module-alias map, so ``rnd.choice`` with
+        ``import random as rnd`` resolves to ``random.choice``.
+        """
+        if isinstance(func, ast.Name):
+            if func.id in self.from_names:
+                return self.from_names[func.id]
+            if func.id in self.module_alias:
+                return self.module_alias[func.id]
+            return None
+        if isinstance(func, ast.Attribute):
+            parts: List[str] = [func.attr]
+            value = func.value
+            while isinstance(value, ast.Attribute):
+                parts.append(value.attr)
+                value = value.value
+            if not isinstance(value, ast.Name):
+                return None
+            root = value.id
+            if root in self.module_alias:
+                parts.append(self.module_alias[root])
+            elif root in self.from_names:
+                parts.append(self.from_names[root])
+            else:
+                return None
+            return ".".join(reversed(parts))
+        return None
+
+
+#: ``random`` module-level functions that draw from (or mutate) the
+#: hidden global Mersenne Twister.
+_RANDOM_GLOBAL_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "binomialvariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "getrandbits", "randbytes", "seed", "setstate",
+})
+
+#: ``numpy.random`` legacy functions backed by the global RandomState.
+_NUMPY_GLOBAL_FUNCS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "seed", "normal",
+    "uniform", "standard_normal", "poisson", "exponential", "binomial",
+    "beta", "gamma", "bytes", "get_state", "set_state",
+})
+
+
+@rule
+class UnseededRandomRule(Rule):
+    """RPR001: randomness outside an explicitly seeded generator."""
+
+    id = "RPR001"
+    name = "unseeded-random"
+    severity = Severity.ERROR
+    paths = None  # anywhere in the package: results or tooling, both matter
+    rationale = (
+        "Module-level random.*/numpy.random.* calls draw from hidden "
+        "global state, so results depend on import order, test order and "
+        "process layout. Use repro.sim.rng.RngStreams or an explicitly "
+        "seeded random.Random/numpy Generator instance.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag global-state randomness and unseeded generator creation."""
+        imports = _ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.call_target(node.func)
+            if target is None:
+                continue
+            message = self._judge(target, node)
+            if message is not None:
+                yield self.finding(module, node, message)
+
+    def _judge(self, target: str, node: ast.Call) -> Optional[str]:
+        """The finding message for a resolved call target, or None."""
+        if target.startswith("random."):
+            attr = target[len("random."):]
+            if attr in _RANDOM_GLOBAL_FUNCS:
+                return (f"call to the global-state generator "
+                        f"random.{attr}(); use a seeded random.Random "
+                        f"or repro.sim.rng.RngStreams")
+            if attr == "SystemRandom":
+                return ("random.SystemRandom is OS-entropy backed and "
+                        "never reproducible")
+            if attr == "Random" and not node.args and not node.keywords:
+                return ("random.Random() without a seed argument seeds "
+                        "from OS entropy; pass an explicit seed")
+            return None
+        if target.startswith("numpy.random."):
+            attr = target.split(".")[-1]
+            if attr in _NUMPY_GLOBAL_FUNCS:
+                return (f"call to the numpy global RandomState "
+                        f"({attr}); use repro.sim.rng.RngStreams or "
+                        f"numpy.random.default_rng(seed)")
+            if attr in ("default_rng", "Generator", "RandomState") \
+                    and not node.args and not node.keywords:
+                return (f"numpy.random.{attr}() without a seed draws "
+                        f"OS entropy; pass an explicit seed")
+        return None
+
+
+#: Call targets that read a clock.  Monotonic clocks are listed too:
+#: they cannot produce wall dates, but any clock feeding simulation
+#: state breaks serial/parallel parity just the same.
+_CLOCK_TARGETS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+@rule
+class WallClockRule(Rule):
+    """RPR002: host-clock reads inside simulation packages."""
+
+    id = "RPR002"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    paths = SIM_PATHS
+    rationale = (
+        "Simulated time is the only clock that may influence results; a "
+        "host-clock read in sim/tcp/net/hw/oskernel code varies run to "
+        "run and across machines. Wall time is fine in reporting and "
+        "benchmarking layers — keep it out of the engine, or suppress "
+        "with a rationale when it is provably reporting-only.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag host-clock call sites resolved through the import map."""
+        imports = _ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.call_target(node.func)
+            if target in _CLOCK_TARGETS:
+                yield self.finding(
+                    module, node,
+                    f"host-clock read {target}() in simulation code; "
+                    f"use env.now (simulated seconds) or move the "
+                    f"measurement to a reporting layer")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    return False
+
+
+def _set_bound_names(tree: ast.Module) -> Set[str]:
+    """Names assigned a set expression anywhere in the module.
+
+    Scope-blind on purpose: a name that holds a set in one function and
+    a list in another is rare enough that the occasional false positive
+    (suppressible inline) beats missing real hash-order dependencies.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and _is_set_expr(node.value) \
+                and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+@rule
+class UnsortedIterationRule(Rule):
+    """RPR003: iterating a set without an explicit order."""
+
+    id = "RPR003"
+    name = "unsorted-iteration"
+    severity = Severity.WARNING
+    paths = None
+    rationale = (
+        "Set iteration order follows the hash seed, so anything built "
+        "from it — event schedules, cache-key material, output rows — "
+        "can differ between processes. Wrap the iterable in sorted(...) "
+        "with an explicit key.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag for-loops and comprehensions that iterate sets."""
+        # Two passes: first learn which names hold sets, then judge
+        # every iteration site.
+        known = _set_bound_names(module.tree)
+        for node in ast.walk(module.tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for expr in iters:
+                if _is_set_expr(expr) or (
+                        isinstance(expr, ast.Name) and expr.id in known):
+                    yield self.finding(
+                        module, expr,
+                        "iteration over a set has hash-dependent order; "
+                        "wrap in sorted(...) before anything "
+                        "order-sensitive consumes it")
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op,
+                                                    (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_float_literal(node.left) and _is_float_literal(node.right)
+    return False
+
+
+@rule
+class FloatEqualityRule(Rule):
+    """RPR008: exact == / != against float literals in sim code."""
+
+    id = "RPR008"
+    name = "float-equality"
+    severity = Severity.WARNING
+    paths = SIM_PATHS
+    rationale = (
+        "Accumulated float arithmetic rarely lands exactly on a "
+        "literal, so == comparisons encode silent platform and "
+        "code-path dependencies into control flow. Compare with "
+        "math.isclose/tolerances or integer ticks; exact sentinel "
+        "compares (a value assigned, never computed) may be suppressed "
+        "with a rationale.")
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag ==/!= comparisons involving float literals."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands: List[Tuple[ast.cmpop, ast.AST, ast.AST]] = []
+            left = node.left
+            for op, comparator in zip(node.ops, node.comparators):
+                operands.append((op, left, comparator))
+                left = comparator
+            for op, lhs, rhs in operands:
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(lhs) or _is_float_literal(rhs):
+                    yield self.finding(
+                        module, node,
+                        "exact float equality against a literal; use a "
+                        "tolerance (math.isclose) or integer ticks")
+                    break

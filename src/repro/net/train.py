@@ -30,7 +30,6 @@ Components read the knob when they are constructed.
 
 from __future__ import annotations
 
-import os
 from typing import Deque, Optional
 
 __all__ = ["BacklogView", "SegmentTrain", "TRAIN_ENV",
@@ -39,15 +38,11 @@ __all__ = ["BacklogView", "SegmentTrain", "TRAIN_ENV",
 #: environment variable selecting the batched (default) or legacy path
 TRAIN_ENV = "REPRO_TRAIN"
 
-_OFF_VALUES = ("0", "off", "false", "no")
-
 
 def train_batching_enabled() -> bool:
     """True when the train-batched data path is selected (the default)."""
-    value = os.environ.get(TRAIN_ENV)
-    if value is None:
-        return True
-    return value.strip().lower() not in _OFF_VALUES
+    from repro.core.knobs import env_value  # lazy: core imports net
+    return env_value(TRAIN_ENV)
 
 
 class BacklogView:

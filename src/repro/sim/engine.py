@@ -31,7 +31,6 @@ Design notes
 from __future__ import annotations
 
 import heapq
-import os
 from collections import deque
 from functools import partial
 from time import perf_counter
@@ -336,7 +335,7 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        if delay == 0.0:
+        if delay == 0.0:  # reprolint: disable=RPR008 -- exact-zero sentinel: "this instant", not a computed float
             self.env._schedule_at(self, self.env._now)
         else:
             self.env._schedule(self, delay)
@@ -351,7 +350,7 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        if delay == 0.0:
+        if delay == 0.0:  # reprolint: disable=RPR008 -- exact-zero sentinel: "this instant", not a computed float
             self.env._schedule_at(self, self.env._now)
         else:
             self.env._schedule(self, delay)
@@ -466,7 +465,7 @@ class Process(Event):
         except StopIteration as stop:
             self._finish(True, stop.value)
             return
-        except BaseException as exc:  # process died with an error
+        except BaseException as exc:  # reprolint: disable=RPR007 -- a process generator can die with anything (incl. GeneratorExit/KeyboardInterrupt); all of it must be captured as the process outcome
             self._finish(False, exc)
             return
         if not isinstance(target, Event):
@@ -512,7 +511,8 @@ class Environment:
         self._cal: Optional[CalendarQueue] = None
         self._scheduler_swaps = 0
         if scheduler is None:
-            scheduler = os.environ.get(SCHEDULER_ENV) or "heap"
+            from repro.core.knobs import env_value  # lazy: core imports sim
+            scheduler = env_value(SCHEDULER_ENV) or "heap"
         if scheduler not in _SCHEDULERS:
             raise SimulationError(
                 f"unknown scheduler {scheduler!r}; expected one of "
@@ -968,9 +968,9 @@ class Environment:
                     label = _component_of(owner.name)
                 else:
                     label = "(callback)"
-                start = perf_counter()
+                start = perf_counter()  # reprolint: disable=RPR002 -- profiler wall-clock accounting; never feeds back into sim state
                 fn(event)
-                elapsed = perf_counter() - start
+                elapsed = perf_counter() - start  # reprolint: disable=RPR002 -- profiler wall-clock accounting; never feeds back into sim state
                 cb_counts[label] = cb_counts.get(label, 0) + 1
                 cb_time[label] = cb_time.get(label, 0.0) + elapsed
         if event._pooled:
@@ -982,7 +982,7 @@ class Environment:
         """:meth:`run` with the profiled dispatch loop (same three
         modes, same semantics, plus accounting)."""
         prof = self._profiler
-        run_start = perf_counter()
+        run_start = perf_counter()  # reprolint: disable=RPR002 -- profiler wall-clock accounting; never feeds back into sim state
         try:
             if until is None:
                 while self.pending_count():
@@ -1008,7 +1008,7 @@ class Environment:
             self._now = horizon
             return None
         finally:
-            prof.wall_time_s += perf_counter() - run_start
+            prof.wall_time_s += perf_counter() - run_start  # reprolint: disable=RPR002 -- profiler wall-clock accounting; never feeds back into sim state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Environment now={self._now:.9f} "

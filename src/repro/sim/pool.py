@@ -49,8 +49,6 @@ from repro.chaos import hooks as chaos_hooks
 __all__ = ["SweepHandle", "submit", "dispatch", "shutdown_pool",
            "pool_persist_enabled", "pool_stats", "resolve_chunk"]
 
-_OFF_VALUES = ("0", "off", "false", "no")
-
 #: The shared executor (created lazily), its size, and the owning pid.
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_WORKERS = 0
@@ -63,10 +61,8 @@ _STATS = {"pools_created": 0, "pool_reuses": 0, "tasks_dispatched": 0,
 
 def pool_persist_enabled() -> bool:
     """True when the warm pool persists across sweeps (the default)."""
-    value = os.environ.get("REPRO_POOL_PERSIST")
-    if value is None:
-        return True
-    return value.strip().lower() not in _OFF_VALUES
+    from repro.core.knobs import env_value  # lazy: core imports sim
+    return env_value("REPRO_POOL_PERSIST")
 
 
 def pool_stats() -> Dict[str, int]:
@@ -216,10 +212,10 @@ def resolve_chunk(pending: int, workers: int) -> int:
     load balancing, few enough futures to amortize dispatch overhead on
     wide sweeps — capped so one straggler chunk never dominates.
     """
-    forced = os.environ.get("REPRO_POOL_CHUNK", "").strip()
-    if forced:
-        with contextlib.suppress(ValueError):
-            return max(1, int(forced))
+    from repro.core.knobs import env_value  # lazy: core imports sim
+    forced = env_value("REPRO_POOL_CHUNK")
+    if forced is not None:
+        return max(1, forced)
     return max(1, min(-(-pending // (workers * 4)), 64))
 
 

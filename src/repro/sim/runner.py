@@ -47,7 +47,8 @@ def resolve_jobs(jobs: Any = None) -> int:
     if jobs is None:
         jobs = _active_jobs.get()
     if jobs is None:
-        jobs = os.environ.get("REPRO_JOBS", "").strip() or 1
+        from repro.core.knobs import env_value  # lazy: core imports sim
+        jobs = env_value("REPRO_JOBS") or 1
     if isinstance(jobs, str):
         if jobs.lower() in ("auto", "all"):
             jobs = os.cpu_count() or 1

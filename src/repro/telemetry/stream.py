@@ -74,7 +74,8 @@ DEFAULT_RING = 65_536
 def stream_tick_s() -> float:
     """The configured heartbeat interval (``REPRO_STREAM_TICK`` or the
     default), validated to be positive."""
-    raw = os.environ.get(STREAM_TICK_ENV)
+    from repro.core.knobs import env_raw  # lazy: core imports telemetry
+    raw = env_raw(STREAM_TICK_ENV)
     if not raw:
         return DEFAULT_STREAM_TICK_S
     try:

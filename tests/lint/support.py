@@ -1,0 +1,47 @@
+"""Shared fixtures for the reprolint tests.
+
+Fixture modules are written under ``<tmp>/repro/<logical>`` so the
+engine's logical-path anchoring scopes them exactly like files in the
+real ``src/repro`` tree (``sim/x.py`` is "simulation code" in both).
+"""
+
+import pathlib
+import textwrap
+
+from repro.lint import lint_paths
+
+
+def write_module(root: pathlib.Path, logical: str, source: str) \
+        -> pathlib.Path:
+    """Write ``source`` at ``<root>/repro/<logical>`` and return the path."""
+    path = root / "repro" / logical
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def lint_file(root: pathlib.Path, logical: str, source: str, **kwargs):
+    """Lint one fixture module (module-rule scope; no package coverage)."""
+    path = write_module(root, logical, source)
+    return lint_paths([path], **kwargs)
+
+
+def lint_tree(root: pathlib.Path, **kwargs):
+    """Lint the whole ``<root>/repro`` fixture tree (package coverage)."""
+    return lint_paths([root / "repro"], **kwargs)
+
+
+def rules_fired(result):
+    """The set of rule ids among the actionable findings."""
+    return {f.rule for f in result.findings}
+
+
+def suppress_line(source: str, fragment: str, rule_id: str,
+                  rationale: str = "test") -> str:
+    """Append an inline suppression to the (single) line containing
+    ``fragment``."""
+    lines = source.split("\n")
+    hits = [i for i, line in enumerate(lines) if fragment in line]
+    assert len(hits) == 1, f"fragment {fragment!r} matched {len(hits)} lines"
+    lines[hits[0]] += f"  # reprolint: disable={rule_id} -- {rationale}"
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Engine behaviour: suppressions, logical paths, baselines, selection."""
+
+import json
+
+import pytest
+
+from repro.lint import lint_paths, load_baseline, write_baseline
+from repro.lint.base import parse_suppressions
+from tests.lint.support import lint_file, write_module
+
+BAD_SIM = "import time\nstamp = time.time()\n"
+
+
+# ---------------------------------------------------------------------------
+# Suppression comment parsing
+# ---------------------------------------------------------------------------
+
+def test_parse_suppressions_forms():
+    lines = [
+        "x = 1  # reprolint: disable=RPR001",
+        "y = 2  # reprolint: disable=RPR001,RPR002 -- rationale here",
+        "z = 3  # reprolint: disable",
+        "plain = 4  # a reprolint mention that is not a directive",
+        "untouched = 5",
+    ]
+    out = parse_suppressions(lines)
+    assert out[1] == {"RPR001"}
+    assert out[2] == {"RPR001", "RPR002"}
+    assert out[3] is None          # blanket: every rule on that line
+    assert 4 not in out
+    assert 5 not in out
+
+
+def test_blanket_suppression_covers_any_rule(tmp_path):
+    source = "import time\nstamp = time.time()  # reprolint: disable\n"
+    result = lint_file(tmp_path, "sim/fixture.py", source,
+                       select=["RPR002"])
+    assert result.ok
+    assert result.suppressed == 1
+
+
+def test_suppression_only_applies_to_its_line(tmp_path):
+    source = ("import time\n"
+              "a = time.time()  # reprolint: disable=RPR002\n"
+              "b = time.time()\n")
+    result = lint_file(tmp_path, "sim/fixture.py", source,
+                       select=["RPR002"])
+    assert len(result.findings) == 1
+    assert result.findings[0].line == 3
+    assert result.suppressed == 1
+
+
+def test_suppressing_the_wrong_rule_does_nothing(tmp_path):
+    source = "import time\nstamp = time.time()  # reprolint: disable=RPR001\n"
+    result = lint_file(tmp_path, "sim/fixture.py", source,
+                       select=["RPR002"])
+    assert not result.ok
+
+
+# ---------------------------------------------------------------------------
+# Logical paths and file collection
+# ---------------------------------------------------------------------------
+
+def test_path_scoping_needs_a_repro_package_dir(tmp_path):
+    # Outside any `repro` directory there is no logical path, so
+    # path-scoped rules (RPR002) do not apply...
+    loose = tmp_path / "plain" / "sim"
+    loose.mkdir(parents=True)
+    bad = loose / "x.py"
+    bad.write_text(BAD_SIM)
+    assert lint_paths([bad], select=["RPR002"]).ok
+    # ...but unscoped rules still do.
+    bad.write_text("import random\nx = random.random()\n")
+    assert not lint_paths([bad], select=["RPR001"]).ok
+
+
+def test_innermost_repro_dir_anchors_the_logical_path(tmp_path):
+    nested = tmp_path / "repro" / "vendored" / "repro" / "sim"
+    nested.mkdir(parents=True)
+    bad = nested / "x.py"
+    bad.write_text(BAD_SIM)
+    result = lint_paths([bad], select=["RPR002"])
+    assert result.findings[0].logical == "sim/x.py"
+
+
+def test_collect_skips_caches_hidden_and_duplicates(tmp_path):
+    write_module(tmp_path, "sim/x.py", "x = 1\n")
+    write_module(tmp_path, "__pycache__/junk.py", "x = 1\n")
+    write_module(tmp_path, ".hidden/junk.py", "x = 1\n")
+    root = tmp_path / "repro"
+    result = lint_paths([root, root / "sim" / "x.py"])  # overlapping paths
+    assert result.files == 1
+
+
+def test_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        lint_paths([tmp_path / "nope"])
+
+
+def test_syntax_error_becomes_rpr000(tmp_path):
+    result = lint_file(tmp_path, "sim/broken.py", "def (:\n")
+    assert not result.ok
+    assert result.findings[0].rule == "RPR000"
+    assert "does not parse" in result.findings[0].message
+
+
+def test_unknown_select_raises(tmp_path):
+    write_module(tmp_path, "sim/x.py", "x = 1\n")
+    with pytest.raises(ValueError, match="RPR999"):
+        lint_paths([tmp_path / "repro"], select=["RPR999"])
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    path = write_module(tmp_path, "sim/legacy.py", BAD_SIM)
+    first = lint_paths([path], select=["RPR002"])
+    assert len(first.findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.findings)
+    baseline = load_baseline(baseline_path)
+
+    second = lint_paths([path], select=["RPR002"], baseline=baseline)
+    assert second.ok
+    assert len(second.baselined) == 1
+
+
+def test_baseline_survives_code_motion(tmp_path):
+    path = write_module(tmp_path, "sim/legacy.py", BAD_SIM)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path,
+                   lint_paths([path], select=["RPR002"]).findings)
+    # Shift the violation down: fingerprints hash content, not line
+    # numbers, so the baseline still absorbs it.
+    path.write_text("import time\n\n\n# moved\nstamp = time.time()\n")
+    result = lint_paths([path], select=["RPR002"],
+                        baseline=load_baseline(baseline_path))
+    assert result.ok
+    assert len(result.baselined) == 1
+
+
+def test_baseline_does_not_absorb_new_duplicates(tmp_path):
+    path = write_module(tmp_path, "sim/legacy.py", BAD_SIM)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path,
+                   lint_paths([path], select=["RPR002"]).findings)
+    # A second, textually identical violation is a *new* occurrence.
+    path.write_text(BAD_SIM + "stamp = time.time()\n")
+    result = lint_paths([path], select=["RPR002"],
+                        baseline=load_baseline(baseline_path))
+    assert len(result.baselined) == 1
+    assert len(result.findings) == 1
+
+
+def test_baseline_is_path_specific(tmp_path):
+    path = write_module(tmp_path, "sim/legacy.py", BAD_SIM)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path,
+                   lint_paths([path], select=["RPR002"]).findings)
+    other = write_module(tmp_path, "sim/fresh.py", BAD_SIM)
+    result = lint_paths([other], select=["RPR002"],
+                        baseline=load_baseline(baseline_path))
+    assert not result.ok  # same line text, different module
+
+
+@pytest.mark.parametrize("payload", [
+    "[]",
+    '{"format": "something-else", "findings": []}',
+    '{"format": "reprolint-baseline-v1", "findings": [{"rule": "RPR001"}]}',
+])
+def test_malformed_baseline_raises(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload)
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_baseline_entries_keep_audit_context(tmp_path):
+    path = write_module(tmp_path, "sim/legacy.py", BAD_SIM)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path,
+                   lint_paths([path], select=["RPR002"]).findings)
+    data = json.loads(baseline_path.read_text())
+    [entry] = data["findings"]
+    assert entry["rule"] == "RPR002"
+    assert "fingerprint" in entry and "message" in entry
+    assert "line" not in entry  # line numbers drift; fingerprints don't
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+def test_finding_render_and_json(tmp_path):
+    path = write_module(tmp_path, "sim/legacy.py", BAD_SIM)
+    [finding] = lint_paths([path], select=["RPR002"]).findings
+    rendered = finding.render()
+    assert rendered.startswith(f"{path}:2:")
+    assert "RPR002" in rendered and "wall-clock" in rendered
+    payload = finding.to_json()
+    assert payload["rule"] == "RPR002"
+    assert payload["logical"] == "sim/legacy.py"
+    assert payload["line"] == 2

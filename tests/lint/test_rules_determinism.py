@@ -1,0 +1,238 @@
+"""Per-rule fixtures for the determinism rules (RPR001/002/003/008).
+
+Every rule gets: a positive fixture proving it fires, negative fixtures
+proving the obvious safe spellings stay clean, and a suppression
+fixture proving the inline escape hatch works on the flagged line.
+"""
+
+import pytest
+
+from tests.lint.support import (lint_file, rules_fired, suppress_line)
+
+# ---------------------------------------------------------------------------
+# RPR001 unseeded randomness
+# ---------------------------------------------------------------------------
+
+RPR001_POSITIVES = {
+    "module-call": """
+        import random
+        x = random.random()
+        """,
+    "from-import": """
+        from random import choice
+        pick = choice([1, 2, 3])
+        """,
+    "aliased": """
+        import random as rnd
+        n = rnd.randint(0, 5)
+        """,
+    "unseeded-instance": """
+        import random
+        rng = random.Random()
+        """,
+    "system-random": """
+        import random
+        rng = random.SystemRandom()
+        """,
+    "numpy-global": """
+        import numpy as np
+        a = np.random.rand(3)
+        """,
+    "numpy-unseeded-rng": """
+        import numpy
+        g = numpy.random.default_rng()
+        """,
+}
+
+RPR001_NEGATIVES = {
+    "seeded-instance": """
+        import random
+        rng = random.Random(42)
+        x = rng.random()
+        """,
+    "seeded-numpy": """
+        import numpy as np
+        g = np.random.default_rng(7)
+        a = g.normal(size=3)
+        """,
+    "unrelated-random-attr": """
+        import random
+        state = random.getstate
+        """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(RPR001_POSITIVES))
+def test_rpr001_fires(tmp_path, name):
+    result = lint_file(tmp_path, "analysis/fixture.py",
+                       RPR001_POSITIVES[name], select=["RPR001"])
+    assert rules_fired(result) == {"RPR001"}, name
+
+
+@pytest.mark.parametrize("name", sorted(RPR001_NEGATIVES))
+def test_rpr001_stays_quiet(tmp_path, name):
+    result = lint_file(tmp_path, "analysis/fixture.py",
+                       RPR001_NEGATIVES[name], select=["RPR001"])
+    assert result.ok, result.findings
+
+
+def test_rpr001_applies_everywhere_in_package(tmp_path):
+    # No path scoping: tooling randomness is as non-reproducible as
+    # simulation randomness.
+    result = lint_file(tmp_path, "tools/fixture.py",
+                       RPR001_POSITIVES["module-call"], select=["RPR001"])
+    assert rules_fired(result) == {"RPR001"}
+
+
+def test_rpr001_suppression(tmp_path):
+    source = suppress_line(RPR001_POSITIVES["module-call"],
+                           "random.random()", "RPR001")
+    result = lint_file(tmp_path, "analysis/fixture.py", source,
+                       select=["RPR001"])
+    assert result.ok
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPR002 wall-clock reads in simulation code
+# ---------------------------------------------------------------------------
+
+RPR002_SOURCE = """
+    import time
+    def measure():
+        return time.time()
+    """
+
+
+@pytest.mark.parametrize("snippet,fragment", [
+    ("import time\nt = time.time()\n", "time.time()"),
+    ("from time import perf_counter\nt = perf_counter()\n",
+     "perf_counter()"),
+    ("import time as clock\nt = clock.monotonic()\n", "monotonic"),
+    ("import datetime\nnow = datetime.datetime.now()\n", "now()"),
+    ("from datetime import datetime\nnow = datetime.utcnow()\n",
+     "utcnow"),
+])
+def test_rpr002_fires_in_sim_paths(tmp_path, snippet, fragment):
+    result = lint_file(tmp_path, "sim/fixture.py", snippet,
+                       select=["RPR002"])
+    assert rules_fired(result) == {"RPR002"}, snippet
+    assert fragment in result.findings[0].line_text
+
+
+@pytest.mark.parametrize("logical", ["sim/a.py", "tcp/a.py", "net/a.py",
+                                     "hw/a.py", "oskernel/a.py",
+                                     "chaos/a.py"])
+def test_rpr002_covers_every_sim_package(tmp_path, logical):
+    result = lint_file(tmp_path, logical, RPR002_SOURCE, select=["RPR002"])
+    assert rules_fired(result) == {"RPR002"}
+
+
+@pytest.mark.parametrize("logical", ["analysis/report.py",
+                                     "telemetry/export.py", "cli.py"])
+def test_rpr002_ignores_reporting_layers(tmp_path, logical):
+    result = lint_file(tmp_path, logical, RPR002_SOURCE, select=["RPR002"])
+    assert result.ok, result.findings
+
+
+def test_rpr002_ignores_simulated_clock(tmp_path):
+    result = lint_file(tmp_path, "sim/fixture.py", """
+        def wait(env):
+            return env.now + 1.0
+        """, select=["RPR002"])
+    assert result.ok
+
+
+def test_rpr002_suppression(tmp_path):
+    source = suppress_line(RPR002_SOURCE, "time.time()", "RPR002",
+                           "reporting only")
+    result = lint_file(tmp_path, "sim/fixture.py", source,
+                       select=["RPR002"])
+    assert result.ok
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPR003 iteration over sets
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "for x in {1, 2, 3}:\n    print(x)\n",
+    "s = set([3, 1, 2])\nfor x in s:\n    print(x)\n",
+    "s = frozenset([1, 2])\nout = [y for y in s]\n",
+    "out = sorted(x for x in set([2, 1]))\n",  # genexp arg still iterates
+])
+def test_rpr003_fires(tmp_path, snippet):
+    result = lint_file(tmp_path, "core/fixture.py", snippet,
+                       select=["RPR003"])
+    assert rules_fired(result) == {"RPR003"}, snippet
+
+
+@pytest.mark.parametrize("snippet", [
+    "s = set([3, 1, 2])\nfor x in sorted(s):\n    print(x)\n",
+    "for x in [1, 2, 3]:\n    print(x)\n",
+    "d = {1: 'a'}\nfor k in d:\n    print(k)\n",
+])
+def test_rpr003_stays_quiet(tmp_path, snippet):
+    result = lint_file(tmp_path, "core/fixture.py", snippet,
+                       select=["RPR003"])
+    assert result.ok, result.findings
+
+
+def test_rpr003_is_a_warning(tmp_path):
+    result = lint_file(tmp_path, "core/fixture.py",
+                       "for x in {1, 2}:\n    print(x)\n",
+                       select=["RPR003"])
+    assert str(result.findings[0].severity) == "warning"
+
+
+def test_rpr003_suppression(tmp_path):
+    source = suppress_line("for x in {1, 2}:\n    print(x)\n",
+                           "for x in", "RPR003", "singleton set")
+    result = lint_file(tmp_path, "core/fixture.py", source,
+                       select=["RPR003"])
+    assert result.ok
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPR008 float equality in sim code
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "def f(delay):\n    return delay == 0.5\n",
+    "def f(x):\n    return 1.5 != x\n",
+    "def f(x):\n    return x == -2.0\n",
+    "def f(x):\n    return x == 1.0 / 3.0\n",
+])
+def test_rpr008_fires_in_sim_paths(tmp_path, snippet):
+    result = lint_file(tmp_path, "tcp/fixture.py", snippet,
+                       select=["RPR008"])
+    assert rules_fired(result) == {"RPR008"}, snippet
+
+
+@pytest.mark.parametrize("snippet", [
+    "def f(x):\n    return x == 0\n",          # int literal
+    "def f(x):\n    return x < 0.5\n",         # ordering is fine
+    "import math\ndef f(x):\n    return math.isclose(x, 0.5)\n",
+])
+def test_rpr008_stays_quiet(tmp_path, snippet):
+    result = lint_file(tmp_path, "tcp/fixture.py", snippet,
+                       select=["RPR008"])
+    assert result.ok, result.findings
+
+
+def test_rpr008_scoped_to_sim_paths(tmp_path):
+    result = lint_file(tmp_path, "analysis/fixture.py",
+                       "def f(x):\n    return x == 0.5\n",
+                       select=["RPR008"])
+    assert result.ok
+
+
+def test_rpr008_suppression(tmp_path):
+    source = suppress_line("def f(delay):\n    return delay == 0.0\n",
+                           "== 0.0", "RPR008", "exact-zero sentinel")
+    result = lint_file(tmp_path, "sim/fixture.py", source,
+                       select=["RPR008"])
+    assert result.ok
+    assert result.suppressed == 1
